@@ -1,0 +1,54 @@
+// Command benchrunner regenerates the paper's tables and figures on the
+// synthetic stand-in datasets and prints them as text tables.
+//
+// Usage:
+//
+//	benchrunner                # run everything (several minutes)
+//	benchrunner -fig fig9a     # run one experiment
+//	benchrunner -budget 10s    # change the per-cell INF budget
+//	benchrunner -list          # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"krcore/internal/expr"
+)
+
+func main() {
+	fig := flag.String("fig", "", "experiment id to run (empty = all)")
+	budget := flag.Duration("budget", expr.DefaultBudget, "per-cell time budget (exceeded = INF)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range expr.Experiments {
+			fmt.Printf("%-8s %s\n", e.ID, e.Brief)
+		}
+		return
+	}
+
+	runner := expr.NewRunner(*budget)
+	run := func(e expr.Experiment) {
+		start := time.Now()
+		rep := e.Run(runner)
+		rep.Render(os.Stdout)
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *fig != "" {
+		e := expr.Find(*fig)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *fig)
+			os.Exit(1)
+		}
+		run(*e)
+		return
+	}
+	for _, e := range expr.Experiments {
+		run(e)
+	}
+}

@@ -1,0 +1,62 @@
+// Coauthor reproduces the paper's DBLP case study (Figure 5): on a
+// co-author network with weighted venue lists, two research groups that
+// share a single bridge author emerge as two overlapping maximal
+// (k,r)-cores, while the classic k-core merges everything into one
+// blob. The maximum (k,r)-core is the larger coherent project team.
+//
+// Run with:
+//
+//	go run ./examples/coauthor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"krcore"
+	"krcore/internal/dataset"
+)
+
+func main() {
+	d, k, r := dataset.CoauthorCase()
+	fmt.Printf("co-author network: %d authors, %d co-author pairs\n",
+		d.Graph.N(), d.Graph.M())
+	fmt.Printf("planted groups: %d and %d authors sharing one bridge author\n",
+		len(d.Communities[0]), len(d.Communities[1]))
+
+	params := krcore.Params{K: k, Oracle: d.Oracle(r)}
+	res, err := krcore.EnumerateMaximal(d.Graph, params, krcore.EnumOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmaximal (%d, %.2f)-cores: %d\n", k, r, len(res.Cores))
+	for i, c := range res.Cores {
+		bridge := ""
+		for _, v := range c {
+			if v == 0 {
+				bridge = " (includes the bridge author, like Dr. Wilder in the paper)"
+			}
+		}
+		fmt.Printf("  research group %d: %d authors%s\n", i+1, len(c), bridge)
+	}
+
+	maxRes, err := krcore.FindMaximum(d.Graph, params, krcore.MaxOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(maxRes.Cores) == 1 {
+		fmt.Printf("\nmaximum (k,r)-core: %d authors — the group an organisation\n", len(maxRes.Cores[0]))
+		fmt.Println("would sponsor for sustained collaboration (paper: the Ensembl team)")
+	}
+
+	// Contrast with structure only: with the threshold at 0 every pair
+	// counts as similar, so the result degenerates to plain k-cores.
+	merged, err := krcore.EnumerateMaximal(d.Graph,
+		krcore.Params{K: k, Oracle: d.Oracle(0)}, krcore.EnumOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwithout the similarity constraint the same authors form %d group(s)\n",
+		len(merged.Cores))
+	fmt.Println("— engagement alone cannot separate the two research areas.")
+}

@@ -1,0 +1,63 @@
+// Engagement plays out the paper's introduction scenario: an
+// organisation wants to sponsor groups that will stay engaged in a
+// collaborative activity. It loads the DBLP-style co-author network,
+// sweeps the engagement threshold k, and reports how the candidate
+// groups (maximal (k,r)-cores) and the best sponsorship target (the
+// maximum (k,r)-core) evolve — including the contrast with plain
+// k-cores, which ignore shared background.
+//
+// Run with:
+//
+//	go run ./examples/engagement
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"krcore"
+	"krcore/internal/dataset"
+)
+
+func main() {
+	d, err := dataset.Load("dblp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("co-author network: %d authors, %d edges\n", d.Graph.N(), d.Graph.M())
+
+	// Calibrate the similarity threshold the way the paper does: take
+	// the top 3 permille of the pairwise similarity distribution.
+	r := d.TopPermille(3)
+	fmt.Printf("similarity threshold (top 3 permille): %.3f\n\n", r)
+
+	fmt.Println("    k   candidate groups   largest   avg size   plain k-core size")
+	for k := 6; k <= 16; k += 2 {
+		params := krcore.Params{K: k, Oracle: d.Oracle(r)}
+		res, err := krcore.EnumerateMaximal(d.Graph, params, krcore.EnumOptions{
+			Limits: krcore.Limits{Deadline: time.Now().Add(30 * time.Second)},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Summarize()
+		kcoreSize := len(krcore.KCore(d.Graph, k))
+		fmt.Printf("  %3d   %16d   %7d   %8.1f   %17d\n",
+			k, s.Count, s.MaxSize, s.AvgSize, kcoreSize)
+	}
+
+	// The sponsorship decision: the maximum (k,r)-core at the working
+	// point k=10.
+	params := krcore.Params{K: 10, Oracle: d.Oracle(r)}
+	maxRes, err := krcore.FindMaximum(d.Graph, params, krcore.MaxOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(maxRes.Cores) == 1 {
+		core := maxRes.Cores[0]
+		fmt.Printf("\nsponsor this group: %d authors, every member has >= 10\n", len(core))
+		fmt.Println("collaborators inside the group and a shared research background —")
+		fmt.Println("the engaged AND similar group the introduction argues for.")
+	}
+}

@@ -1,0 +1,105 @@
+// Package clique enumerates maximal cliques with the Bron–Kerbosch
+// algorithm using pivoting (Tomita-style pivot selection).
+//
+// The Clique+ baseline of Section 3 enumerates maximal cliques of the
+// similarity graph of each candidate component and intersects them with
+// the structure constraint; this package provides the clique enumeration
+// half, replacing the third-party code the paper downloaded.
+package clique
+
+import (
+	"krcore/internal/bitset"
+	"krcore/internal/graph"
+)
+
+// MaximalCliques calls emit once per maximal clique of g, with vertices
+// sorted ascending. The emitted slice is reused between calls; callers
+// that retain cliques must copy. If emit returns false the enumeration
+// stops early.
+func MaximalCliques(g *graph.Graph, emit func(clique []int32) bool) {
+	n := g.N()
+	if n == 0 {
+		return
+	}
+	adj := make([]*bitset.Set, n)
+	for u := 0; u < n; u++ {
+		adj[u] = bitset.New(n)
+		for _, v := range g.Neighbors(int32(u)) {
+			adj[u].Set(int(v))
+		}
+	}
+	p := bitset.New(n)
+	for u := 0; u < n; u++ {
+		p.Set(u)
+	}
+	x := bitset.New(n)
+	e := &enumerator{g: g, adj: adj, emit: emit}
+	e.run(nil, p, x)
+}
+
+type enumerator struct {
+	g       *graph.Graph
+	adj     []*bitset.Set
+	emit    func([]int32) bool
+	stopped bool
+	buf     []int32
+}
+
+// run implements Bron–Kerbosch with pivoting on (R=r, P=p, X=x).
+// p and x are consumed destructively by the caller's frame; clones are
+// made for recursion.
+func (e *enumerator) run(r []int32, p, x *bitset.Set) {
+	if e.stopped {
+		return
+	}
+	if !p.Any() && !x.Any() {
+		e.buf = append(e.buf[:0], r...)
+		if !e.emit(e.buf) {
+			e.stopped = true
+		}
+		return
+	}
+	// Pivot: vertex of P ∪ X with the most neighbours in P.
+	pivot, best := -1, -1
+	choose := func(u int) {
+		c := p.IntersectionCount(e.adj[u])
+		if c > best {
+			best = c
+			pivot = u
+		}
+	}
+	p.ForEach(choose)
+	x.ForEach(choose)
+
+	// Candidates: P \ N(pivot).
+	cand := p.Clone()
+	if pivot >= 0 {
+		cand.AndNot(e.adj[pivot])
+	}
+	cand.ForEach(func(u int) {
+		if e.stopped || !p.Test(u) {
+			return
+		}
+		np := p.Clone()
+		np.And(e.adj[u])
+		nx := x.Clone()
+		nx.And(e.adj[u])
+		e.run(append(r, int32(u)), np, nx)
+		p.Clear(u)
+		x.Set(u)
+	})
+}
+
+// MaxCliqueSize returns the size of the maximum clique of g (0 for an
+// empty graph). Exponential in the worst case; used only in tests and on
+// small candidate sets.
+func MaxCliqueSize(g *graph.Graph) int {
+	best := 0
+	MaximalCliques(g, func(c []int32) bool {
+		if len(c) > best {
+			best = len(c)
+		}
+		return true
+	})
+	return best
+}

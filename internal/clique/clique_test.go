@@ -1,0 +1,191 @@
+package clique
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"krcore/internal/graph"
+)
+
+func completeGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(int32(i), int32(j))
+		}
+	}
+	return b.Build()
+}
+
+func collect(g *graph.Graph) [][]int32 {
+	var out [][]int32
+	MaximalCliques(g, func(c []int32) bool {
+		cc := make([]int32, len(c))
+		copy(cc, c)
+		sort.Slice(cc, func(i, j int) bool { return cc[i] < cc[j] })
+		out = append(out, cc)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+func TestCompleteGraphSingleClique(t *testing.T) {
+	cs := collect(completeGraph(5))
+	if len(cs) != 1 || len(cs[0]) != 5 {
+		t.Fatalf("complete graph cliques = %v", cs)
+	}
+	if MaxCliqueSize(completeGraph(7)) != 7 {
+		t.Fatal("MaxCliqueSize of K7 must be 7")
+	}
+}
+
+func TestTriangleWithTail(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(2, 3)
+	cs := collect(b.Build())
+	if len(cs) != 2 {
+		t.Fatalf("got %d cliques, want 2: %v", len(cs), cs)
+	}
+	// {0,1,2} and {2,3}
+	if len(cs[0]) != 3 || len(cs[1]) != 2 {
+		t.Fatalf("cliques = %v", cs)
+	}
+}
+
+func TestEdgelessGraph(t *testing.T) {
+	g := graph.NewBuilder(3).Build()
+	cs := collect(g)
+	// Every isolated vertex is a maximal clique of size 1.
+	if len(cs) != 3 {
+		t.Fatalf("got %v, want three singleton cliques", cs)
+	}
+	if g0 := graph.NewBuilder(0).Build(); MaxCliqueSize(g0) != 0 {
+		t.Fatal("empty graph max clique must be 0")
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	count := 0
+	MaximalCliques(completeGraph(3), func(c []int32) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early stop emitted %d cliques, want 1", count)
+	}
+	// Disconnected graph: stop after first of several cliques.
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	b.AddEdge(4, 5)
+	count = 0
+	MaximalCliques(b.Build(), func(c []int32) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop after 2 emitted %d", count)
+	}
+}
+
+// bruteMaximalCliques enumerates maximal cliques by subset enumeration
+// (n <= ~16).
+func bruteMaximalCliques(g *graph.Graph) [][]int32 {
+	n := g.N()
+	isClique := func(mask int) bool {
+		for u := 0; u < n; u++ {
+			if mask&(1<<u) == 0 {
+				continue
+			}
+			for v := u + 1; v < n; v++ {
+				if mask&(1<<v) == 0 {
+					continue
+				}
+				if !g.HasEdge(int32(u), int32(v)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	var cliques []int
+	for mask := 1; mask < 1<<n; mask++ {
+		if isClique(mask) {
+			cliques = append(cliques, mask)
+		}
+	}
+	var out [][]int32
+	for _, m := range cliques {
+		maximal := true
+		for _, m2 := range cliques {
+			if m2 != m && m2&m == m {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			var c []int32
+			for u := 0; u < n; u++ {
+				if m&(1<<u) != 0 {
+					c = append(c, int32(u))
+				}
+			}
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.Build()
+		got := collect(g)
+		want := bruteMaximalCliques(g)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if len(got[i]) != len(want[i]) {
+				return false
+			}
+			for k := range got[i] {
+				if got[i][k] != want[i][k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,289 @@
+package core
+
+// Adversarial structures that historically break (k,r)-core searches:
+// matching-complement similarity (exponentially many maximal cliques in
+// the similarity graph), shared-boundary cliques (maximal check must
+// extend across the boundary), and chains (connectivity pruning).
+
+import (
+	"fmt"
+	"testing"
+
+	"krcore/internal/attr"
+	"krcore/internal/graph"
+	"krcore/internal/similarity"
+)
+
+// matchingInstance builds a structural clique on 2t vertices whose
+// dissimilarity graph is a perfect matching: vertex 2i is dissimilar to
+// vertex 2i+1 only. Valid cores pick at most one endpoint per pair, so
+// the similarity graph has 2^t maximal cliques; the maximal (k,r)-cores
+// are exactly the 2^t vertex sets choosing one endpoint per pair
+// (each of size t, connected, with degree t-1 >= k).
+func matchingInstance(t2 int, k int) testInstance {
+	n := 2 * t2
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(int32(i), int32(j))
+		}
+	}
+	// Geo positions: pair endpoints far apart, pairs on a tight ring so
+	// every non-partner pair is similar.
+	geo := attr.NewGeo(n)
+	for p := 0; p < t2; p++ {
+		geo.SetVertex(int32(2*p), attr.Point{X: float64(p), Y: 0})
+		geo.SetVertex(int32(2*p+1), attr.Point{X: float64(p), Y: 100})
+	}
+	// Distance threshold: same-side pairs are close (<= t2), opposite
+	// sides are 100 apart.
+	return testInstance{
+		g: b.Build(),
+		p: Params{K: k, Oracle: similarity.NewOracle(similarity.Euclidean{Store: geo}, 50)},
+	}
+}
+
+func TestMatchingComplementEnumeration(t *testing.T) {
+	// 2^4 = 16 maximal cores expected... but opposite-side vertices are
+	// only similar within their own side: side A = y=0 row, side B =
+	// y=100 row. A core mixing sides is impossible (distance 100 > 50),
+	// so the maximal cores are the two sides themselves.
+	inst := matchingInstance(4, 2)
+	res, err := Enumerate(inst.g, inst.p, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := BruteForce(inst.g, inst.p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameCoreSets(res.Cores, want) {
+		t.Fatalf("got %v, want %v", res.Cores, want)
+	}
+	if len(res.Cores) != 2 {
+		t.Fatalf("expected the two ring sides, got %d cores", len(res.Cores))
+	}
+}
+
+// trueMatchingInstance makes only the matched pair dissimilar (keyword
+// trick): everyone shares a big common set; pair endpoints additionally
+// carry a poison pill making exactly that one pair dissimilar.
+func trueMatchingInstance(pairs, k int) testInstance {
+	n := 2 * pairs
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(int32(i), int32(j))
+		}
+	}
+	kw := attr.NewKeywords(n)
+	// Common base of 8 keywords; each pair endpoint gets 12 private
+	// keywords. Jaccard(same pair) = 8/32 = 0.25; Jaccard(cross pair)
+	// = 8/32 = 0.25?? Private keywords must overlap within a pair and
+	// differ across pairs to separate the two cases; instead give pair
+	// p's endpoints DISJOINT privates and cross-pair endpoints SHARED
+	// side keywords: side 0 vertices share side-keyword S0, side 1
+	// share S1, and every vertex has the base.
+	// sim(2p, 2q) for p != q: base(8) + S0 shared => 9/ (9+9-9+...).
+	// Simpler exact construction: base 20 keywords everyone; pair p
+	// endpoint 0 adds p-specific keyword A_p, endpoint 1 adds B_p, and
+	// additionally endpoints of the SAME pair drop a shared subset to
+	// lower their similarity: give endpoint 0 of pair p keywords
+	// {base} ∪ {1000+p}, endpoint 1 {base minus first 10} ∪ {1000+p}.
+	// Then same-pair similarity is lower than cross-pair similarity.
+	for p := 0; p < pairs; p++ {
+		full := make([]int32, 0, 21)
+		for w := int32(0); w < 20; w++ {
+			full = append(full, w)
+		}
+		kw.SetVertex(int32(2*p), append(full, int32(1000+p)))
+		half := make([]int32, 0, 11)
+		for w := int32(10); w < 20; w++ {
+			half = append(half, w)
+		}
+		kw.SetVertex(int32(2*p+1), append(half, int32(1000+p)))
+	}
+	// sim(2p, 2p+1) = |{10..19, 1000+p}| / |{0..19, 1000+p}| = 11/21 ≈ 0.524
+	// sim(2p, 2q)   = 20/22 ≈ 0.909
+	// sim(2p, 2q+1) = 10/22 ≈ 0.455   (q != p)
+	// sim(2p+1,2q+1)= 10/12 ≈ 0.833
+	// Hmm: cross odd-even pairs are also dissimilar at r=0.6. The
+	// dissimilarity graph at r=0.6 is a complete bipartite-ish graph
+	// between evens and odds: cores = all-evens and all-odds.
+	return testInstance{
+		g: b.Build(),
+		p: Params{K: k, Oracle: similarity.NewOracle(similarity.Jaccard{Store: kw}, 0.6)},
+	}
+}
+
+func TestBipartiteDissimilarity(t *testing.T) {
+	inst := trueMatchingInstance(5, 2)
+	res, err := Enumerate(inst.g, inst.p, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := BruteForce(inst.g, inst.p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameCoreSets(res.Cores, want) {
+		t.Fatalf("got %v, want %v", res.Cores, want)
+	}
+	for _, opt := range []EnumOptions{
+		{DisableRetention: true, DisableEarlyTermination: true, DisableMaximalCheck: true},
+		{Order: OrderRandom},
+	} {
+		alt, err := Enumerate(inst.g, inst.p, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameCoreSets(alt.Cores, want) {
+			t.Fatalf("variant %+v: got %v, want %v", opt, alt.Cores, want)
+		}
+	}
+}
+
+// sharedBoundaryInstance: two cliques sharing exactly k vertices, all
+// similar. The union is one core; the maximal check must not report
+// either clique alone.
+func sharedBoundaryInstance(size, k int) testInstance {
+	n := 2*size - k
+	b := graph.NewBuilder(n)
+	cliqueA := make([]int32, size)
+	cliqueB := make([]int32, size)
+	for i := 0; i < size; i++ {
+		cliqueA[i] = int32(i)
+		cliqueB[i] = int32(size - k + i)
+	}
+	for _, c := range [][]int32{cliqueA, cliqueB} {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				b.AddEdge(c[i], c[j])
+			}
+		}
+	}
+	geo := attr.NewGeo(n)
+	for i := 0; i < n; i++ {
+		geo.SetVertex(int32(i), attr.Point{X: float64(i % 3), Y: float64(i % 2)})
+	}
+	return testInstance{
+		g: b.Build(),
+		p: Params{K: k, Oracle: similarity.NewOracle(similarity.Euclidean{Store: geo}, 10)},
+	}
+}
+
+func TestSharedBoundaryCliques(t *testing.T) {
+	inst := sharedBoundaryInstance(6, 3)
+	res, err := Enumerate(inst.g, inst.p, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cores) != 1 || len(res.Cores[0]) != inst.g.N() {
+		t.Fatalf("expected one core covering all %d vertices, got %v", inst.g.N(), res.Cores)
+	}
+	maxRes, err := FindMaximum(inst.g, inst.p, MaxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(maxRes.Cores) != 1 || len(maxRes.Cores[0]) != inst.g.N() {
+		t.Fatalf("maximum should be the union, got %v", maxRes.Cores)
+	}
+}
+
+// chainInstance: cliques linked in a chain by single edges, each clique
+// placed in its own far-away location, so the links join dissimilar
+// vertices and every clique is its own core. (With unbounded r the
+// whole chain would be one valid connected core — the links supply
+// connectivity while intra-clique edges supply degree.)
+func chainInstance(cliques, size, k int) testInstance {
+	n := cliques * size
+	b := graph.NewBuilder(n)
+	geo := attr.NewGeo(n)
+	for c := 0; c < cliques; c++ {
+		for i := 0; i < size; i++ {
+			geo.SetVertex(int32(c*size+i), attr.Point{X: 1000*float64(c) + float64(i)})
+			for j := i + 1; j < size; j++ {
+				b.AddEdge(int32(c*size+i), int32(c*size+j))
+			}
+		}
+		if c > 0 {
+			b.AddEdge(int32((c-1)*size), int32(c*size))
+		}
+	}
+	return testInstance{
+		g: b.Build(),
+		p: Params{K: k, Oracle: similarity.NewOracle(similarity.Euclidean{Store: geo}, 100)},
+	}
+}
+
+func TestCliqueChain(t *testing.T) {
+	inst := chainInstance(5, 5, 4)
+	res, err := Enumerate(inst.g, inst.p, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cores) != 5 {
+		t.Fatalf("expected 5 separate cliques, got %d: %v", len(res.Cores), res.Cores)
+	}
+	for i, c := range res.Cores {
+		if len(c) != 5 {
+			t.Fatalf("core %d has size %d, want 5", i, len(c))
+		}
+	}
+	// Every vertex is in exactly one core; anchored queries agree.
+	for v := int32(0); v < int32(inst.g.N()); v += 7 {
+		anchored, err := EnumerateContaining(inst.g, inst.p, v, EnumOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(anchored.Cores) != 1 {
+			t.Fatalf("vertex %d should be in exactly one core, got %d", v, len(anchored.Cores))
+		}
+	}
+}
+
+// TestDeterministicAcrossRuns: same input, same options => identical
+// output and node counts, for every order (OrderRandom uses a fixed
+// xorshift seed).
+func TestDeterministicAcrossRuns(t *testing.T) {
+	inst := trueMatchingInstance(5, 2)
+	for _, order := range []Order{OrderDelta1ThenDelta2, OrderRandom, OrderDegree, OrderLambdaDelta} {
+		opt := EnumOptions{Order: order}
+		a, err := Enumerate(inst.g, inst.p, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Enumerate(inst.g, inst.p, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameCoreSets(a.Cores, b.Cores) || a.Nodes != b.Nodes {
+			t.Fatalf("order %v: non-deterministic (%d vs %d nodes)", order, a.Nodes, b.Nodes)
+		}
+	}
+}
+
+// TestLargeMatchingStress: 2^10 similarity-graph cliques must not blow
+// up the enumeration (the retention rule collapses them).
+func TestLargeMatchingStress(t *testing.T) {
+	inst := trueMatchingInstance(10, 2)
+	res, err := Enumerate(inst.g, inst.p, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatal("stress instance timed out")
+	}
+	// Evens form one core, odds the other.
+	if len(res.Cores) != 2 {
+		t.Fatalf("got %d cores: %v", len(res.Cores), coreSizes(res.Cores))
+	}
+}
+
+func coreSizes(cores [][]int32) []string {
+	out := make([]string, len(cores))
+	for i, c := range cores {
+		out[i] = fmt.Sprintf("%d", len(c))
+	}
+	return out
+}

@@ -1,0 +1,411 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"krcore/internal/graph"
+)
+
+// containsLocal reports whether the sorted-or-not local id slice holds v.
+func containsLocal(s []int32, v int32) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Enumerate returns the maximal (k,r)-cores of g. With default options
+// it is the AdvEnum algorithm (Algorithm 3 + Theorems 2-6 + the
+// Δ1-then-Δ2 order); the Disable* options reproduce BasicEnum, BE+CR and
+// BE+CR+ET from the evaluation (Table 2, Figure 9).
+func Enumerate(g *graph.Graph, p Params, opt EnumOptions) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if opt.anchorPlus1 > 0 && int(opt.anchorPlus1-1) >= g.N() {
+		return nil, fmt.Errorf("core: anchor vertex %d out of range [0,%d)", opt.anchorPlus1-1, g.N())
+	}
+	if opt.Order == OrderDefault {
+		opt.Order = OrderDelta1ThenDelta2 // Section 7.3
+	}
+	if opt.CheckOrder == OrderDefault {
+		opt.CheckOrder = OrderDegree // Section 7.4
+	}
+	start := time.Now()
+	probs := prepare(g, p)
+	if opt.anchorPlus1 > 0 {
+		probs = filterAnchorComponent(probs, opt.anchorPlus1-1)
+	}
+	all, nodes, timedOut := runEnumeration(probs, opt)
+	if opt.DisableMaximalCheck {
+		all = filterMaximal(all)
+	} else {
+		all = dedupCores(canonicalize(all))
+	}
+	return &Result{
+		Cores:    all,
+		Nodes:    nodes,
+		TimedOut: timedOut,
+		Elapsed:  time.Since(start),
+	}, nil
+}
+
+// EnumerateContaining returns the maximal (k,r)-cores that contain the
+// query vertex v — the community-search flavour of the problem. Any
+// maximal core containing v is also maximal among all cores, so the
+// result equals the v-containing subset of Enumerate's output, computed
+// by searching only v's candidate component with v pre-committed to M.
+func EnumerateContaining(g *graph.Graph, p Params, v int32, opt EnumOptions) (*Result, error) {
+	if v < 0 || int(v) >= g.N() {
+		return nil, fmt.Errorf("core: query vertex %d out of range [0,%d)", v, g.N())
+	}
+	opt.anchorPlus1 = v + 1
+	return Enumerate(g, p, opt)
+}
+
+// filterAnchorComponent keeps only the component containing the anchor.
+func filterAnchorComponent(probs []*problem, anchor int32) []*problem {
+	for _, prob := range probs {
+		for _, v := range prob.orig {
+			if v == anchor {
+				return []*problem{prob}
+			}
+		}
+	}
+	return nil
+}
+
+// runEnumeration searches every candidate component, serially or on a
+// worker pool, and returns the collected cores (global ids).
+func runEnumeration(probs []*problem, opt EnumOptions) (all [][]int32, nodes int64, timedOut bool) {
+	workers := opt.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(probs) {
+		workers = len(probs)
+	}
+	if workers <= 1 {
+		bud := &budget{limits: opt.Limits}
+		for _, prob := range probs {
+			searchComponent(prob, opt, bud, func(c []int32) { all = append(all, c) })
+			if bud.timedOut {
+				break
+			}
+		}
+		return all, bud.nodes, bud.timedOut
+	}
+
+	var (
+		mu       sync.Mutex
+		work     = make(chan *problem)
+		wg       sync.WaitGroup
+		total    int64
+		anyTimed bool
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bud := &budget{limits: opt.Limits}
+			for prob := range work {
+				if bud.timedOut {
+					continue // drain remaining work after a timeout
+				}
+				searchComponent(prob, opt, bud, func(c []int32) {
+					mu.Lock()
+					all = append(all, c)
+					mu.Unlock()
+				})
+			}
+			mu.Lock()
+			total += bud.nodes
+			anyTimed = anyTimed || bud.timedOut
+			mu.Unlock()
+		}()
+	}
+	for _, prob := range probs {
+		work <- prob
+	}
+	close(work)
+	wg.Wait()
+	return all, total, anyTimed
+}
+
+// searchComponent runs one component's search, honouring the anchor and
+// emitting cores as global-id slices.
+func searchComponent(prob *problem, opt EnumOptions, bud *budget, emit func([]int32)) {
+	e := &enumSearch{st: newState(prob, bud), opt: opt}
+	if opt.anchorPlus1 > 0 {
+		anchor := opt.anchorPlus1 - 1
+		local := int32(-1)
+		for i, v := range prob.orig {
+			if v == anchor {
+				local = int32(i)
+				break
+			}
+		}
+		if local < 0 {
+			return
+		}
+		e.st.expand(local)
+		e.anchor = local
+	} else {
+		e.anchor = -1
+	}
+	e.run(func(localCore []int32) {
+		emit(prob.toGlobal(localCore))
+	})
+}
+
+// enumSearch carries one component's enumeration.
+type enumSearch struct {
+	st     *state
+	opt    EnumOptions
+	emit   func([]int32)
+	anchor int32 // pre-committed query vertex, -1 when unanchored
+}
+
+func (e *enumSearch) run(emit func([]int32)) {
+	e.emit = emit
+	e.node()
+}
+
+// node is one search-tree node of Algorithm 3 (or of the basic
+// Algorithm 1 enumeration when retention is disabled). The caller is
+// responsible for rewinding the state.
+func (e *enumSearch) node() {
+	s := e.st
+	if !s.bud.step() {
+		return
+	}
+	retention := !e.opt.DisableRetention
+	if !s.prune(retention) {
+		return
+	}
+	if s.cntM+s.cntC == 0 {
+		return
+	}
+	if !e.opt.DisableEarlyTermination && s.earlyTerminate() {
+		return
+	}
+	// Size-constrained enumeration: no core larger than the
+	// (k,k')-core bound can emerge from this subtree (Theorem 7).
+	if e.opt.MinSize > 0 && s.bound(BoundDoubleKcore) < e.opt.MinSize {
+		return
+	}
+
+	// Leaf: C = SF(C), i.e. no dissimilar pair is left in C, so M∪C
+	// satisfies both constraints (Theorem 4). Both the basic and the
+	// advanced configurations stop here — without this rule the basic
+	// enumeration would visit every single (k,r)-core as its own leaf,
+	// which is hopeless on any realistic input. What candidate
+	// retention adds on top (and what DisableRetention removes) is the
+	// rule to never *branch* on a similarity-free candidate plus the
+	// Remark 1 promotion.
+	if s.sumDpC == 0 {
+		e.reportLeaf()
+		return
+	}
+
+	ch, ok := s.chooseVertex(e.opt.Order, e.opt.Lambda, retention, false)
+	if !ok {
+		// Retention leaves no eligible candidate only when sumDpC == 0,
+		// which was handled above; without retention C is non-empty
+		// here. Defensive: treat as a leaf.
+		e.reportLeaf()
+		return
+	}
+
+	// Expand branch.
+	m := s.mark()
+	s.expand(ch.v)
+	e.node()
+	s.rewind(m)
+	if s.bud.timedOut {
+		return
+	}
+	// Shrink branch: the candidate joins the relevant excluded set
+	// (it is similar to all of M, or it would have been pruned).
+	m = s.mark()
+	s.discard(ch.v)
+	e.node()
+	s.rewind(m)
+}
+
+// reportLeaf extracts the (k,r)-cores at a leaf. With M non-empty, M∪C
+// is a single connected core (connectivity pruning guarantees it). At
+// the unique all-shrink leaf (M empty) each connected component of C is
+// a core on its own. Each core is checked for maximality against the
+// relevant excluded set E (Theorem 6) unless disabled.
+func (e *enumSearch) reportLeaf() {
+	s := e.st
+	var candidates [][]int32
+	if s.cntM > 0 {
+		candidates = [][]int32{s.members(nil, statusM, statusC)}
+	} else {
+		candidates = s.mcComponents()
+	}
+	for _, r := range candidates {
+		if len(r) < s.p.k+1 || len(r) < e.opt.MinSize {
+			continue
+		}
+		if e.anchor >= 0 && !containsLocal(r, e.anchor) {
+			continue
+		}
+		if !e.opt.DisableMaximalCheck {
+			if !s.checkMaximal(r, e.opt.CheckOrder, e.opt.Lambda) {
+				continue
+			}
+		}
+		e.emit(r)
+		if s.bud.timedOut {
+			return
+		}
+	}
+}
+
+// earlyTerminate implements Theorem 5: the subtree cannot contain any
+// maximal (k,r)-core when some excluded vertex (or excluded set) can
+// extend every core derivable from (M, C).
+func (s *state) earlyTerminate() bool {
+	if s.cntE == 0 {
+		return false
+	}
+	// Condition (i): a vertex u ∈ SF_C(E) with deg(u,M) >= k extends any
+	// derived core (it is similar to all of M∪C and structurally
+	// supported by M alone).
+	for v := int32(0); v < int32(s.p.n); v++ {
+		if s.status[v] == statusE && s.dpC[v] == 0 && s.degM[v] >= int32(s.p.k) {
+			return true
+		}
+	}
+	// Condition (ii): a set U ⊆ SF_{C∪E}(E) where every u ∈ U has
+	// deg(u, M∪U) >= k. Computed as the k-core-style fixpoint of the
+	// eligible excluded vertices supported by M, restricted to vertices
+	// reachable from M (the extension must keep R∪U connected).
+	w := s.scratch[:0]
+	for v := int32(0); v < int32(s.p.n); v++ {
+		if s.status[v] == statusE && s.dpC[v] == 0 && s.dpE[v] == 0 {
+			w = append(w, v)
+		}
+	}
+	if len(w) == 0 {
+		s.scratch = w[:0]
+		return false
+	}
+	inW := make(map[int32]bool, len(w))
+	degW := make(map[int32]int32, len(w))
+	for _, v := range w {
+		inW[v] = true
+	}
+	for _, v := range w {
+		d := s.degM[v]
+		for _, nb := range s.p.adj[v] {
+			if inW[nb] {
+				d++
+			}
+		}
+		degW[v] = d
+	}
+	queue := s.queue[:0]
+	for _, v := range w {
+		if degW[v] < int32(s.p.k) {
+			queue = append(queue, v)
+			inW[v] = false
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, nb := range s.p.adj[v] {
+			if !inW[nb] {
+				continue
+			}
+			degW[nb]--
+			if degW[nb] < int32(s.p.k) {
+				inW[nb] = false
+				queue = append(queue, nb)
+			}
+		}
+	}
+	s.queue = queue[:0]
+	s.scratch = w[:0]
+	survivors := false
+	for _, v := range w {
+		if inW[v] {
+			survivors = true
+			break
+		}
+	}
+	if !survivors {
+		return false
+	}
+	// Keep only survivors attached to M: BFS from M over M ∪ survivors.
+	for v := range s.visited {
+		s.visited[v] = false
+	}
+	q := s.queue[:0]
+	for v := int32(0); v < int32(s.p.n); v++ {
+		if s.status[v] == statusM {
+			s.visited[v] = true
+			q = append(q, v)
+		}
+	}
+	reached := false
+	for len(q) > 0 {
+		u := q[len(q)-1]
+		q = q[:len(q)-1]
+		for _, nb := range s.p.adj[u] {
+			if s.visited[nb] {
+				continue
+			}
+			if inW[nb] {
+				s.visited[nb] = true
+				reached = true
+				q = append(q, nb)
+			} else if s.status[nb] == statusM {
+				s.visited[nb] = true
+				q = append(q, nb)
+			}
+		}
+	}
+	s.queue = q[:0]
+	if !reached {
+		return false
+	}
+	// Unreachable survivors must be dropped, which may invalidate the
+	// degree support of reachable ones; re-run the fixpoint on the
+	// reachable survivor set.
+	changed := false
+	for _, v := range w {
+		if inW[v] && !s.visited[v] {
+			inW[v] = false
+			changed = true
+		}
+	}
+	if changed {
+		for _, v := range w {
+			if !inW[v] {
+				continue
+			}
+			d := s.degM[v]
+			for _, nb := range s.p.adj[v] {
+				if inW[nb] {
+					d++
+				}
+			}
+			if d < int32(s.p.k) {
+				// Conservative: give up on condition (ii) instead of
+				// iterating again; correctness is unaffected (we only
+				// skip an optional pruning opportunity).
+				return false
+			}
+		}
+	}
+	return true
+}

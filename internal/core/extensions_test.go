@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEnumerateContainingMatchesFilter: the anchored enumeration must
+// equal the v-containing subset of the full enumeration.
+func TestEnumerateContainingMatchesFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 80; trial++ {
+		inst := randomInstance(rng, 14)
+		full, err := Enumerate(inst.g, inst.p, EnumOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := int32(rng.Intn(inst.g.N()))
+		want := [][]int32{}
+		for _, c := range full.Cores {
+			if isSubset([]int32{v}, c) {
+				want = append(want, c)
+			}
+		}
+		got, err := EnumerateContaining(inst.g, inst.p, v, EnumOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameCoreSets(got.Cores, want) {
+			t.Fatalf("trial %d (v=%d): got %v, want %v", trial, v, got.Cores, want)
+		}
+	}
+}
+
+func TestEnumerateContainingValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inst := randomGeoInstance(rng, 8)
+	if _, err := EnumerateContaining(inst.g, inst.p, -1, EnumOptions{}); err == nil {
+		t.Fatal("negative query vertex must be rejected")
+	}
+	if _, err := EnumerateContaining(inst.g, inst.p, int32(inst.g.N()), EnumOptions{}); err == nil {
+		t.Fatal("out-of-range query vertex must be rejected")
+	}
+}
+
+// TestMinSizeMatchesFilter: size-constrained enumeration must equal the
+// size-filtered full enumeration, for both maximal-check modes.
+func TestMinSizeMatchesFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 80; trial++ {
+		inst := randomInstance(rng, 14)
+		full, err := Enumerate(inst.g, inst.p, EnumOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		minSize := inst.p.K + 1 + rng.Intn(4)
+		want := [][]int32{}
+		for _, c := range full.Cores {
+			if len(c) >= minSize {
+				want = append(want, c)
+			}
+		}
+		for _, opt := range []EnumOptions{
+			{MinSize: minSize},
+			{MinSize: minSize, DisableMaximalCheck: true},
+		} {
+			got, err := Enumerate(inst.g, inst.p, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameCoreSets(got.Cores, want) {
+				t.Fatalf("trial %d (minSize=%d, opt=%+v): got %v, want %v",
+					trial, minSize, opt, got.Cores, want)
+			}
+		}
+	}
+}
+
+// TestParallelEnumerationMatchesSerial: a parallel run must produce the
+// same canonical core set as the serial run.
+func TestParallelEnumerationMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 40; trial++ {
+		inst := randomInstance(rng, 18)
+		serial, err := Enumerate(inst.g, inst.p, EnumOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4} {
+			par, err := Enumerate(inst.g, inst.p, EnumOptions{Parallelism: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameCoreSets(par.Cores, serial.Cores) {
+				t.Fatalf("trial %d (workers=%d): parallel %v != serial %v",
+					trial, workers, par.Cores, serial.Cores)
+			}
+			if par.Nodes != serial.Nodes {
+				// Node totals must match: components are independent.
+				t.Fatalf("trial %d: parallel nodes %d != serial nodes %d",
+					trial, par.Nodes, serial.Nodes)
+			}
+		}
+	}
+}
+
+func TestMinSizeAboveMaximumYieldsNothing(t *testing.T) {
+	inst := figure1Instance()
+	res, err := Enumerate(inst.g, inst.p, EnumOptions{MinSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cores) != 0 {
+		t.Fatalf("MinSize=100 should prune everything, got %v", res.Cores)
+	}
+	// MinSize equal to the largest core keeps exactly it.
+	res5, err := Enumerate(inst.g, inst.p, EnumOptions{MinSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res5.Cores) != 1 || len(res5.Cores[0]) != 5 {
+		t.Fatalf("MinSize=5 should keep only the 5-vertex core, got %v", res5.Cores)
+	}
+}
+
+func TestAnchoredFigure1(t *testing.T) {
+	inst := figure1Instance()
+	// Vertex 4 belongs only to the first group's core.
+	res, err := EnumerateContaining(inst.g, inst.p, 4, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cores) != 1 || !isSubset([]int32{4}, res.Cores[0]) {
+		t.Fatalf("anchored cores = %v", res.Cores)
+	}
+	// Vertex 16 (the path) is in no core.
+	res16, err := EnumerateContaining(inst.g, inst.p, 16, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res16.Cores) != 0 {
+		t.Fatalf("vertex 16 should be coreless, got %v", res16.Cores)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"krcore/internal/graph"
+)
+
+// FindMaximum returns the maximum (k,r)-core of g (Algorithm 5). With
+// default options it is AdvMax (the (k,k')-core bound plus the λΔ1−Δ2
+// order with adaptive branching); BoundNaive reproduces BasicMax.
+// Result.Cores is empty when no (k,r)-core exists, otherwise it holds
+// exactly one core.
+func FindMaximum(g *graph.Graph, p Params, opt MaxOptions) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if opt.Order == OrderDefault {
+		opt.Order = OrderLambdaDelta // Section 7.2
+	}
+	if opt.Bound == BoundDefault {
+		opt.Bound = BoundDoubleKcore // Section 6.2
+	}
+	start := time.Now()
+	bud := &budget{limits: opt.Limits}
+	probs := prepare(g, p)
+	// Start from the component holding the highest-degree vertex
+	// (Section 6.1): a large core early tightens the bound everywhere.
+	sort.Slice(probs, func(i, j int) bool { return probs[i].maxDeg > probs[j].maxDeg })
+
+	var best []int32
+	for _, prob := range probs {
+		if len(prob.orig) <= len(best) {
+			continue // the whole component cannot beat the incumbent
+		}
+		ms := &maxSearch{st: newState(prob, bud), opt: opt, bestSize: len(best)}
+		ms.node()
+		if ms.best != nil {
+			best = prob.toGlobal(ms.best)
+		}
+		if bud.timedOut {
+			break
+		}
+	}
+	res := &Result{Nodes: bud.nodes, TimedOut: bud.timedOut, Elapsed: time.Since(start)}
+	if best != nil {
+		res.Cores = [][]int32{best}
+	}
+	return res, nil
+}
+
+// maxSearch runs Algorithm 5 on one component.
+type maxSearch struct {
+	st       *state
+	opt      MaxOptions
+	best     []int32 // best core of this component (local ids), nil if none beat bestSize
+	bestSize int     // global incumbent size
+}
+
+func (m *maxSearch) node() {
+	s := m.st
+	if !s.bud.step() {
+		return
+	}
+	if !s.prune(true) {
+		return
+	}
+	if s.cntM+s.cntC == 0 {
+		return
+	}
+	if !m.opt.DisableEarlyTermination && s.earlyTerminate() {
+		return
+	}
+	if s.bound(m.opt.Bound) <= m.bestSize {
+		return
+	}
+	if s.sumDpC == 0 { // C = SF(C): M∪C is a (k,r)-core (Theorem 4)
+		m.reportLeaf()
+		return
+	}
+
+	order := m.opt.Order
+	ch, ok := s.chooseVertex(order, m.opt.Lambda, true, true)
+	if !ok {
+		return
+	}
+	expandFirst := true
+	switch m.opt.Branch {
+	case BranchAdaptive:
+		expandFirst = ch.expandFirst
+	case BranchExpandFirst:
+		expandFirst = true
+	case BranchShrinkFirst:
+		expandFirst = false
+	}
+
+	runExpand := func() {
+		mk := s.mark()
+		s.expand(ch.v)
+		m.node()
+		s.rewind(mk)
+	}
+	runShrink := func() {
+		mk := s.mark()
+		s.discard(ch.v)
+		m.node()
+		s.rewind(mk)
+	}
+	if expandFirst {
+		runExpand()
+		if s.bud.timedOut {
+			return
+		}
+		runShrink()
+	} else {
+		runShrink()
+		if s.bud.timedOut {
+			return
+		}
+		runExpand()
+	}
+}
+
+func (m *maxSearch) reportLeaf() {
+	s := m.st
+	var candidates [][]int32
+	if s.cntM > 0 {
+		candidates = [][]int32{s.members(nil, statusM, statusC)}
+	} else {
+		candidates = s.mcComponents()
+	}
+	for _, r := range candidates {
+		if len(r) >= s.p.k+1 && len(r) > m.bestSize {
+			m.bestSize = len(r)
+			m.best = append(m.best[:0], r...)
+		}
+	}
+}

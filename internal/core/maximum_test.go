@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"krcore/internal/graph"
+)
+
+func TestFindMaximumMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	variants := []MaxOptions{
+		{}, // AdvMax defaults
+		{Bound: BoundNaive},
+		{Bound: BoundColor},
+		{Bound: BoundKcore},
+		{Bound: BoundColorKcore},
+		{Order: OrderDegree},
+		{Order: OrderRandom},
+		{Order: OrderDelta1},
+		{Order: OrderDelta2},
+		{Order: OrderDelta1ThenDelta2},
+		{Branch: BranchExpandFirst},
+		{Branch: BranchShrinkFirst},
+		{DisableEarlyTermination: true},
+		{Bound: BoundNaive, Order: OrderDegree, Branch: BranchExpandFirst},
+	}
+	for trial := 0; trial < 160; trial++ {
+		inst := randomInstance(rng, 12)
+		want, err := BruteForceMaximum(inst.g, inst.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := variants[trial%len(variants)]
+		res, err := FindMaximum(inst.g, inst.p, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			if len(res.Cores) != 0 {
+				t.Fatalf("trial %d: got %v, want no core", trial, res.Cores)
+			}
+			continue
+		}
+		if len(res.Cores) != 1 {
+			t.Fatalf("trial %d (opts=%+v): got %d cores, want 1 (brute: %v)",
+				trial, opt, len(res.Cores), want)
+		}
+		got := res.Cores[0]
+		// The maximum is not necessarily unique; compare sizes and
+		// validate the returned set.
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (k=%d, opts=%+v): |got|=%d (%v), |want|=%d (%v)",
+				trial, inst.p.K, opt, len(got), got, len(want), want)
+		}
+		if !validCore(inst, got) {
+			t.Fatalf("trial %d: result %v is not a valid core", trial, got)
+		}
+	}
+}
+
+func TestFindMaximumAgreesWithEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 60; trial++ {
+		inst := randomInstance(rng, 16)
+		enum, err := Enumerate(inst.g, inst.p, EnumOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		max, err := FindMaximum(inst.g, inst.p, MaxOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bestEnum := 0
+		for _, c := range enum.Cores {
+			if len(c) > bestEnum {
+				bestEnum = len(c)
+			}
+		}
+		bestMax := 0
+		if len(max.Cores) == 1 {
+			bestMax = len(max.Cores[0])
+		}
+		if bestEnum != bestMax {
+			t.Fatalf("trial %d: enumeration max size %d, FindMaximum size %d",
+				trial, bestEnum, bestMax)
+		}
+	}
+}
+
+func TestFindMaximumParamValidation(t *testing.T) {
+	inst := figure1Instance()
+	if _, err := FindMaximum(inst.g, Params{K: -1, Oracle: inst.p.Oracle}, MaxOptions{}); err == nil {
+		t.Fatal("negative k must be rejected")
+	}
+}
+
+func TestFindMaximumFigure1(t *testing.T) {
+	inst := figure1Instance()
+	res, err := FindMaximum(inst.g, inst.p, MaxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cores) != 1 || len(res.Cores[0]) != 5 {
+		t.Fatalf("maximum core = %v, want the 5-vertex group", res.Cores)
+	}
+}
+
+func TestCliquePlusMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 120; trial++ {
+		inst := randomInstance(rng, 12)
+		want, err := BruteForce(inst.g, inst.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := CliquePlus(inst.g, inst.p, Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameCoreSets(res.Cores, want) {
+			t.Fatalf("trial %d (k=%d): got %v, want %v", trial, inst.p.K, res.Cores, want)
+		}
+	}
+}
+
+func TestCliquePlusNodeLimit(t *testing.T) {
+	inst := figure1Instance()
+	res, err := CliquePlus(inst.g, inst.p, Limits{MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Fatal("MaxNodes=1 should abort Clique+")
+	}
+}
+
+func TestBruteForceRejectsLargeGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inst := randomGeoInstance(rng, 10)
+	big := graph.NewBuilder(30).Build()
+	if _, err := BruteForce(big, inst.p); err == nil {
+		t.Fatal("BruteForce must reject graphs with more than 22 vertices")
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+// Micro-benchmarks for the engine's building blocks: problem
+// preparation, the three size bounds (the ablation behind Figure 10),
+// state transitions with trail rewind, and full searches on the hard
+// band of the synthetic Gowalla stand-in. Figure-level benchmarks live
+// in the repository root's bench_test.go.
+
+import (
+	"math/rand"
+	"testing"
+
+	"krcore/internal/attr"
+	"krcore/internal/graph"
+	"krcore/internal/similarity"
+)
+
+// benchInstance builds a mid-sized tangled component: three overlapping
+// geo clusters whose boundaries straddle the threshold.
+func benchInstance() testInstance {
+	rng := rand.New(rand.NewSource(424242))
+	n := 600
+	b := graph.NewBuilder(n)
+	geo := attr.NewGeo(n)
+	for c := 0; c < 12; c++ {
+		base := c * 50
+		cx := float64(c) * 6
+		members := make([]int32, 0, 50)
+		for i := 0; i < 50; i++ {
+			v := int32(base + i)
+			members = append(members, v)
+			geo.SetVertex(v, attr.Point{
+				X: cx + rng.NormFloat64()*3,
+				Y: rng.NormFloat64() * 3,
+			})
+		}
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				if rng.Float64() < 0.25 {
+					b.AddEdge(members[i], members[j])
+				}
+			}
+		}
+		if c > 0 {
+			for i := 0; i < 60; i++ {
+				b.AddEdge(int32(base-50+rng.Intn(50)), int32(base+rng.Intn(50)))
+			}
+		}
+	}
+	return testInstance{
+		g: b.Build(),
+		p: Params{K: 5, Oracle: similarity.NewOracle(similarity.Euclidean{Store: geo}, 10)},
+	}
+}
+
+func BenchmarkPrepare(b *testing.B) {
+	inst := benchInstance()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if probs := prepare(inst.g, inst.p); len(probs) == 0 {
+			b.Fatal("expected candidate components")
+		}
+	}
+}
+
+func benchRootState(b *testing.B) *state {
+	b.Helper()
+	inst := benchInstance()
+	probs := prepare(inst.g, inst.p)
+	if len(probs) == 0 {
+		b.Fatal("no components")
+	}
+	biggest := probs[0]
+	for _, p := range probs {
+		if p.n > biggest.n {
+			biggest = p
+		}
+	}
+	return newState(biggest, &budget{})
+}
+
+func BenchmarkBoundNaive(b *testing.B) {
+	st := benchRootState(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.bound(BoundNaive)
+	}
+}
+
+func BenchmarkBoundColor(b *testing.B) {
+	st := benchRootState(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.bound(BoundColor)
+	}
+}
+
+func BenchmarkBoundKcoreSim(b *testing.B) {
+	st := benchRootState(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.bound(BoundKcore)
+	}
+}
+
+func BenchmarkBoundDoubleKcore(b *testing.B) {
+	st := benchRootState(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.bound(BoundDoubleKcore)
+	}
+}
+
+func BenchmarkStateExpandRewind(b *testing.B) {
+	st := benchRootState(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := st.mark()
+		st.expand(int32(i % st.p.n))
+		st.prune(true)
+		st.rewind(m)
+	}
+}
+
+func BenchmarkChooseVertexDelta(b *testing.B) {
+	st := benchRootState(b)
+	st.prune(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.chooseVertex(OrderDelta1ThenDelta2, 5, true, false)
+	}
+}
+
+func BenchmarkEnumerateHardBand(b *testing.B) {
+	inst := benchInstance()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Enumerate(inst.g, inst.p, EnumOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TimedOut {
+			b.Fatal("unexpected timeout")
+		}
+	}
+}
+
+func BenchmarkFindMaximumHardBand(b *testing.B) {
+	inst := benchInstance()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FindMaximum(inst.g, inst.p, MaxOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCliquePlusHardBand(b *testing.B) {
+	inst := benchInstance()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := CliquePlus(inst.g, inst.p, Limits{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBruteForceSmall(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	inst := randomGeoInstance(rng, 14)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BruteForce(inst.g, inst.p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

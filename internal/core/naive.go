@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"krcore/internal/graph"
+)
+
+// BruteForce enumerates the maximal (k,r)-cores of g by exhaustive
+// subset enumeration over the raw graph, independent of all search
+// machinery — the NaiveEnum ground truth of Section 4 used to validate
+// the optimised algorithms. It refuses graphs with more than 22
+// vertices.
+func BruteForce(g *graph.Graph, p Params) ([][]int32, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	if n > 22 {
+		return nil, fmt.Errorf("core: BruteForce limited to 22 vertices, got %d", n)
+	}
+	var cores [][]int32
+	verts := make([]int32, 0, n)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		verts = verts[:0]
+		for u := 0; u < n; u++ {
+			if mask&(1<<uint(u)) != 0 {
+				verts = append(verts, int32(u))
+			}
+		}
+		if len(verts) < p.K+1 {
+			continue
+		}
+		if !subsetIsCore(g, p, verts) {
+			continue
+		}
+		cores = append(cores, append([]int32(nil), verts...))
+	}
+	return filterMaximal(cores), nil
+}
+
+// BruteForceMaximum returns one maximum (k,r)-core of g by exhaustive
+// enumeration (nil if none exists).
+func BruteForceMaximum(g *graph.Graph, p Params) ([]int32, error) {
+	cores, err := BruteForce(g, p)
+	if err != nil {
+		return nil, err
+	}
+	var best []int32
+	for _, c := range cores {
+		if len(c) > len(best) {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+// subsetIsCore checks the full (k,r)-core definition on a sorted vertex
+// subset: structure, similarity and connectivity.
+func subsetIsCore(g *graph.Graph, p Params, verts []int32) bool {
+	in := make(map[int32]bool, len(verts))
+	for _, v := range verts {
+		in[v] = true
+	}
+	for _, v := range verts {
+		d := 0
+		for _, nb := range g.Neighbors(v) {
+			if in[nb] {
+				d++
+			}
+		}
+		if d < p.K {
+			return false
+		}
+	}
+	for i := 0; i < len(verts); i++ {
+		for j := i + 1; j < len(verts); j++ {
+			if !p.Oracle.Similar(verts[i], verts[j]) {
+				return false
+			}
+		}
+	}
+	return g.IsConnectedSubset(verts)
+}

@@ -1,0 +1,239 @@
+package core
+
+// Search orders (Section 7). The engine must pick (i) which candidate
+// vertex to branch on and (ii) which branch to explore first. The Δ1
+// measurement is the relative reduction of dissimilar pairs in C, Δ2 the
+// relative reduction of edges in M∪C (Equations 3 and 4); both are
+// estimated by simulating the candidate pruning restricted to vertices
+// within two hops of the chosen vertex, as in Section 7.2.
+
+// branchSim holds the estimated effect of taking one branch for a
+// candidate vertex.
+type branchSim struct {
+	delta1 float64
+	delta2 float64
+}
+
+// score is λΔ1−Δ2, the suitability measure of Section 7.2.
+func (b branchSim) score(lambda float64) float64 {
+	return lambda*b.delta1 - b.delta2
+}
+
+// choice is the vertex selected by an order, with the preferred branch.
+type choice struct {
+	v           int32
+	expandFirst bool
+}
+
+// chooseVertex picks the next branching vertex among the eligible
+// candidates (C when retention is off, C \ SF(C) when on) according to
+// the order. It returns ok=false when no eligible candidate exists.
+func (s *state) chooseVertex(order Order, lambda float64, retention, forMaximum bool) (choice, bool) {
+	best := choice{v: -1, expandFirst: true}
+	switch order {
+	case OrderDegree:
+		bestDeg := int32(-1)
+		for v := int32(0); v < int32(s.p.n); v++ {
+			if !s.eligible(v, retention) {
+				continue
+			}
+			if d := s.degM[v] + s.degC[v]; d > bestDeg {
+				bestDeg = d
+				best.v = v
+			}
+		}
+	case OrderRandom:
+		cnt := 0
+		for v := int32(0); v < int32(s.p.n); v++ {
+			if !s.eligible(v, retention) {
+				continue
+			}
+			cnt++
+			// Reservoir sampling with the state's deterministic rng.
+			if s.nextRand()%uint64(cnt) == 0 {
+				best.v = v
+			}
+		}
+	default:
+		best = s.chooseByDelta(order, lambda, retention, forMaximum)
+	}
+	return best, best.v >= 0
+}
+
+func (s *state) eligible(v int32, retention bool) bool {
+	if s.status[v] != statusC {
+		return false
+	}
+	if retention && s.dpC[v] == 0 {
+		return false // Theorem 4: never branch on similarity-free vertices
+	}
+	return true
+}
+
+// nextRand advances the xorshift state.
+func (s *state) nextRand() uint64 {
+	x := s.rngState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rngState = x
+	return x
+}
+
+// chooseByDelta evaluates Δ1/Δ2 for both branches of every eligible
+// candidate and applies the order-specific aggregation:
+//
+//   - OrderLambdaDelta (maximum search): pick the vertex whose best
+//     branch maximises λΔ1−Δ2 and explore that branch first.
+//   - OrderDelta1ThenDelta2 (enumeration): pick the vertex with the
+//     largest summed Δ1, ties broken by smallest summed Δ2.
+//   - OrderDelta1: largest Δ1 (summed, or best-branch for maximum).
+//   - OrderDelta2: smallest Δ2.
+func (s *state) chooseByDelta(order Order, lambda float64, retention, forMaximum bool) choice {
+	if lambda == 0 {
+		lambda = 5 // paper default
+	}
+	best := choice{v: -1, expandFirst: true}
+	var bestPrimary, bestSecondary float64
+	first := true
+	for v := int32(0); v < int32(s.p.n); v++ {
+		if !s.eligible(v, retention) {
+			continue
+		}
+		exp := s.simulateBranch(v, true)
+		shr := s.simulateBranch(v, false)
+		var primary, secondary float64
+		expandFirst := true
+		switch order {
+		case OrderLambdaDelta:
+			se, ss := exp.score(lambda), shr.score(lambda)
+			if se >= ss {
+				primary = se
+			} else {
+				primary = ss
+				expandFirst = false
+			}
+		case OrderDelta1ThenDelta2:
+			if forMaximum {
+				if exp.delta1 >= shr.delta1 {
+					primary, secondary = exp.delta1, -exp.delta2
+				} else {
+					primary, secondary = shr.delta1, -shr.delta2
+					expandFirst = false
+				}
+			} else {
+				primary = exp.delta1 + shr.delta1
+				secondary = -(exp.delta2 + shr.delta2)
+			}
+		case OrderDelta1:
+			if forMaximum {
+				if exp.delta1 >= shr.delta1 {
+					primary = exp.delta1
+				} else {
+					primary = shr.delta1
+					expandFirst = false
+				}
+			} else {
+				primary = exp.delta1 + shr.delta1
+			}
+		case OrderDelta2:
+			if forMaximum {
+				if exp.delta2 <= shr.delta2 {
+					primary = -exp.delta2
+				} else {
+					primary = -shr.delta2
+					expandFirst = false
+				}
+			} else {
+				primary = -(exp.delta2 + shr.delta2)
+			}
+		}
+		if first || primary > bestPrimary ||
+			(primary == bestPrimary && secondary > bestSecondary) {
+			first = false
+			bestPrimary, bestSecondary = primary, secondary
+			best.v = v
+			best.expandFirst = expandFirst
+		}
+	}
+	return best
+}
+
+// simulateBranch estimates Δ1 and Δ2 for branching on v without mutating
+// the search state. Pruning effects are propagated at most two hops from
+// v, as in Section 7.2.
+func (s *state) simulateBranch(v int32, expandBranch bool) branchSim {
+	s.simEpoch++
+	ep := s.simEpoch
+	removed := s.simList[:0]
+	markRemoved := func(u int32) {
+		if s.simMark[u] != ep {
+			s.simMark[u] = ep
+			removed = append(removed, u)
+		}
+	}
+	tentDeg := func(u int32) int32 {
+		if s.simDegEp[u] != ep {
+			s.simDegEp[u] = ep
+			s.simDeg[u] = s.degM[u] + s.degC[u]
+		}
+		return s.simDeg[u]
+	}
+
+	if expandBranch {
+		// v joins M: its dissimilar candidates are discarded.
+		for _, d := range s.p.dissim[v] {
+			if s.status[d] == statusC {
+				markRemoved(d)
+			}
+		}
+	} else {
+		// v is discarded.
+		markRemoved(v)
+	}
+
+	// Structural cascade, limited to two waves beyond the seed set.
+	frontier := removed
+	for wave := 0; wave < 2 && len(frontier) > 0; wave++ {
+		start := len(removed)
+		for _, r := range frontier {
+			for _, nb := range s.p.adj[r] {
+				if s.status[nb] != statusC || s.simMark[nb] == ep {
+					continue
+				}
+				d := tentDeg(nb) - 1
+				s.simDeg[nb] = d
+				if d < int32(s.p.k) {
+					markRemoved(nb)
+				}
+			}
+		}
+		frontier = removed[start:]
+	}
+	s.simList = removed[:0]
+
+	// Count removed dissimilar pairs and removed edges. Each removed
+	// vertex r loses dpC[r] pairs and deg(r, M∪C) edges; pairs and
+	// edges internal to the removed set are counted twice by these
+	// sums. The double counting is deliberately left in: correcting it
+	// costs a scan of every removed vertex's dissimilarity list (the
+	// dominant term on dense components), biases every candidate the
+	// same way, and the measure is already a two-hop heuristic
+	// (Section 7.2). In the expand branch v itself keeps its edges —
+	// it moves to M, staying inside M∪C — while its dissimilar pairs
+	// disappear with their removed partners.
+	var pairLoss, edgeLoss int64
+	for _, r := range removed {
+		pairLoss += int64(s.dpC[r])
+		edgeLoss += int64(s.degM[r] + s.degC[r])
+	}
+
+	var sim branchSim
+	if dp := s.sumDpC / 2; dp > 0 {
+		sim.delta1 = float64(pairLoss) / float64(dp)
+	}
+	if s.edgesMC > 0 {
+		sim.delta2 = float64(edgeLoss) / float64(s.edgesMC)
+	}
+	return sim
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"sort"
+
+	"krcore/internal/graph"
+	"krcore/internal/kcore"
+	"krcore/internal/simgraph"
+)
+
+// problem is one candidate component prepared by the initial stage of
+// Algorithm 1: a connected component of the k-core of the graph after
+// removing dissimilar edges, re-indexed with local vertex ids 0..n-1.
+type problem struct {
+	k      int
+	n      int
+	adj    [][]int32 // structural adjacency (all edges join similar vertices)
+	dissim [][]int32 // pairwise-dissimilar local vertex lists, sorted
+	pairs  int       // number of dissimilar pairs
+	orig   []int32   // local id -> global id
+	maxDeg int       // maximum structural degree (for component ordering)
+}
+
+// prepare runs the shared preprocessing of Algorithm 1 lines 1-3: drop
+// edges between dissimilar vertices, compute the k-core, split into
+// connected components and build the local problems. Components smaller
+// than k+1 vertices cannot host a (k,r)-core and are skipped.
+func prepare(g *graph.Graph, p Params) []*problem {
+	filtered := g.FilterEdges(func(u, v int32) bool { return p.Oracle.Similar(u, v) })
+	kc := kcore.KCore(filtered, p.K)
+	if len(kc) == 0 {
+		return nil
+	}
+	comps := filtered.ComponentsOf(kc)
+	var probs []*problem
+	for _, comp := range comps {
+		if len(comp) < p.K+1 {
+			continue
+		}
+		probs = append(probs, buildProblem(filtered, p, comp))
+	}
+	return probs
+}
+
+// buildProblem constructs the local problem for one component of the
+// filtered k-core.
+func buildProblem(filtered *graph.Graph, p Params, comp []int32) *problem {
+	sub, orig := filtered.Induced(comp)
+	d := simgraph.BuildDissim(p.Oracle, orig)
+	pr := &problem{
+		k:      p.K,
+		n:      sub.N(),
+		adj:    make([][]int32, sub.N()),
+		dissim: d.Lists,
+		pairs:  d.Pairs,
+		orig:   orig,
+	}
+	for u := 0; u < sub.N(); u++ {
+		pr.adj[u] = sub.Neighbors(int32(u))
+		if len(pr.adj[u]) > pr.maxDeg {
+			pr.maxDeg = len(pr.adj[u])
+		}
+	}
+	return pr
+}
+
+// toGlobal maps sorted local vertex ids to sorted global ids.
+func (p *problem) toGlobal(locals []int32) []int32 {
+	out := make([]int32, len(locals))
+	for i, v := range locals {
+		out[i] = p.orig[v]
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// canonicalize sorts cores lexicographically (then by length) so results
+// compare deterministically across algorithms.
+func canonicalize(cores [][]int32) [][]int32 {
+	sort.Slice(cores, func(i, j int) bool {
+		a, b := cores[i], cores[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return cores
+}
+
+// dedupCores removes duplicate vertex sets from a canonicalized list.
+func dedupCores(cores [][]int32) [][]int32 {
+	out := cores[:0]
+	for i, c := range cores {
+		if i > 0 && equalCores(cores[i-1], c) {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func equalCores(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// filterMaximal removes cores that are proper subsets of another core,
+// implementing the naive maximal check of Algorithm 1 lines 6-8. Input
+// cores must each be sorted; the result is canonicalized.
+func filterMaximal(cores [][]int32) [][]int32 {
+	if len(cores) <= 1 {
+		return canonicalize(cores)
+	}
+	// Sort by size descending; a core can only be contained in a larger
+	// (or equal, i.e. duplicate) one.
+	sort.Slice(cores, func(i, j int) bool { return len(cores[i]) > len(cores[j]) })
+	var kept [][]int32
+	for _, c := range cores {
+		contained := false
+		for _, big := range kept {
+			if len(big) >= len(c) && isSubset(c, big) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			kept = append(kept, c)
+		}
+	}
+	return dedupCores(canonicalize(kept))
+}
+
+// isSubset reports whether sorted slice a is a subset of sorted slice b.
+func isSubset(a, b []int32) bool {
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i >= len(b) || b[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}

@@ -1,0 +1,449 @@
+package core
+
+import "fmt"
+
+// Vertex statuses of the set-enumeration search. M holds chosen
+// vertices, C candidates, E the relevant excluded vertices (discarded
+// but similar to every vertex of M, Section 5.2), and Out everything
+// else.
+const (
+	statusOut byte = iota
+	statusC
+	statusM
+	statusE
+)
+
+// change records one status transition for the undo trail.
+type change struct {
+	v        int32
+	from, to byte
+}
+
+// state is the mutable search state over one problem. All counter
+// mutations happen through apply, which records an undo entry; rewind
+// restores any earlier trail mark exactly.
+type state struct {
+	p      *problem
+	status []byte
+
+	// Incremental counters, maintained for every vertex regardless of
+	// status (Section 5.1's invariants are expressed through them):
+	degM []int32 // structural neighbours in M
+	degC []int32 // structural neighbours in C
+	dpM  []int32 // dissimilar partners in M
+	dpC  []int32 // dissimilar partners in C
+	dpE  []int32 // dissimilar partners in E
+
+	cntM, cntC, cntE int
+	sumDpC           int64 // Σ_{u∈C} dpC[u] = 2 × DP(C)
+	edgesMC          int64 // |E(M∪C)|
+
+	trail []change
+
+	bud *budget
+
+	// Scratch space reused across nodes.
+	queue   []int32
+	visited []bool
+	scratch []int32
+	// Two-hop Δ simulation scratch (orders.go).
+	simEpoch int32
+	simMark  []int32
+	simDeg   []int32
+	simDegEp []int32
+	simList  []int32
+	rngState uint64
+}
+
+func newState(p *problem, bud *budget) *state {
+	n := p.n
+	s := &state{
+		p:        p,
+		status:   make([]byte, n),
+		degM:     make([]int32, n),
+		degC:     make([]int32, n),
+		dpM:      make([]int32, n),
+		dpC:      make([]int32, n),
+		dpE:      make([]int32, n),
+		bud:      bud,
+		visited:  make([]bool, n),
+		simMark:  make([]int32, n),
+		simDeg:   make([]int32, n),
+		simDegEp: make([]int32, n),
+		rngState: 0x9E3779B97F4A7C15,
+	}
+	for v := 0; v < n; v++ {
+		s.apply(int32(v), statusC)
+	}
+	s.trail = s.trail[:0] // initial population is not undoable
+	return s
+}
+
+// mark returns the current trail position.
+func (s *state) mark() int { return len(s.trail) }
+
+// rewind undoes every transition after trail mark m.
+func (s *state) rewind(m int) {
+	for len(s.trail) > m {
+		c := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		s.transition(c.v, c.from)
+	}
+}
+
+// apply moves v to the given status, recording the undo entry.
+func (s *state) apply(v int32, to byte) {
+	from := s.status[v]
+	if from == to {
+		return
+	}
+	s.trail = append(s.trail, change{v: v, from: from, to: to})
+	s.transition(v, to)
+}
+
+// transition performs the status change and counter updates without
+// touching the trail.
+func (s *state) transition(v int32, to byte) {
+	s.detach(v)
+	s.status[v] = to
+	s.attach(v)
+}
+
+func (s *state) detach(v int32) {
+	switch s.status[v] {
+	case statusM:
+		s.cntM--
+		s.edgesMC -= int64(s.degM[v] + s.degC[v])
+		for _, nb := range s.p.adj[v] {
+			s.degM[nb]--
+		}
+		for _, d := range s.p.dissim[v] {
+			s.dpM[d]--
+		}
+	case statusC:
+		s.cntC--
+		s.edgesMC -= int64(s.degM[v] + s.degC[v])
+		s.sumDpC -= int64(s.dpC[v])
+		for _, nb := range s.p.adj[v] {
+			s.degC[nb]--
+		}
+		for _, d := range s.p.dissim[v] {
+			s.dpC[d]--
+			if s.status[d] == statusC {
+				s.sumDpC--
+			}
+		}
+	case statusE:
+		s.cntE--
+		for _, d := range s.p.dissim[v] {
+			s.dpE[d]--
+		}
+	}
+}
+
+func (s *state) attach(v int32) {
+	switch s.status[v] {
+	case statusM:
+		s.cntM++
+		s.edgesMC += int64(s.degM[v] + s.degC[v])
+		for _, nb := range s.p.adj[v] {
+			s.degM[nb]++
+		}
+		for _, d := range s.p.dissim[v] {
+			s.dpM[d]++
+		}
+	case statusC:
+		s.cntC++
+		s.edgesMC += int64(s.degM[v] + s.degC[v])
+		s.sumDpC += int64(s.dpC[v])
+		for _, nb := range s.p.adj[v] {
+			s.degC[nb]++
+		}
+		for _, d := range s.p.dissim[v] {
+			s.dpC[d]++
+			if s.status[d] == statusC {
+				s.sumDpC++
+			}
+		}
+	case statusE:
+		s.cntE++
+		for _, d := range s.p.dissim[v] {
+			s.dpE[d]++
+		}
+	}
+}
+
+// discard removes a candidate: to E when it is similar to all of M
+// (relevant excluded vertex), otherwise Out.
+func (s *state) discard(v int32) {
+	if s.dpM[v] == 0 {
+		s.apply(v, statusE)
+	} else {
+		s.apply(v, statusOut)
+	}
+}
+
+// expand moves candidate u into M and enforces the similarity pruning
+// rule (Theorem 3): candidates and excluded vertices dissimilar to u
+// leave the search. Structural consequences are handled by prune.
+func (s *state) expand(u int32) {
+	s.apply(u, statusM)
+	// Collect first: apply mutates dpM which the discard destination
+	// reads, but iterating p.dissim[u] is safe (static problem data).
+	for _, d := range s.p.dissim[u] {
+		switch s.status[d] {
+		case statusC:
+			// dpM[d] > 0 now, so discard sends it Out.
+			s.apply(d, statusOut)
+		case statusE:
+			s.apply(d, statusOut)
+		}
+	}
+}
+
+// prune restores the similarity and degree invariants (Equations 1 and
+// 2) plus the trivial connectivity rule: it repeatedly
+//
+//  1. discards candidates with dpM > 0 (Theorem 3),
+//  2. peels candidates with deg(v, M∪C) < k (Theorem 2),
+//  3. when retention is on, promotes similarity-free candidates already
+//     having k chosen neighbours straight into M (Remark 1), and
+//  4. discards candidates disconnected from M in M∪C.
+//
+// It returns false when the branch is dead: a vertex of M lost the
+// structure constraint or M became disconnected inside M∪C.
+func (s *state) prune(retention bool) bool {
+	for {
+		changed := false
+		// (1) + (2): similarity kick and structural peeling in one pass
+		// using a worklist seeded with all current candidates.
+		q := s.queue[:0]
+		for v := int32(0); v < int32(s.p.n); v++ {
+			if s.status[v] == statusC && (s.dpM[v] > 0 || s.degM[v]+s.degC[v] < int32(s.p.k)) {
+				q = append(q, v)
+			}
+			if s.status[v] == statusM && s.degM[v]+s.degC[v] < int32(s.p.k) {
+				s.queue = q
+				return false
+			}
+			if s.status[v] == statusE && s.dpM[v] > 0 {
+				s.apply(v, statusOut)
+			}
+		}
+		for len(q) > 0 {
+			v := q[len(q)-1]
+			q = q[:len(q)-1]
+			if s.status[v] != statusC {
+				continue
+			}
+			if s.dpM[v] == 0 && s.degM[v]+s.degC[v] >= int32(s.p.k) {
+				continue // repaired by an earlier pop? cannot happen, but safe
+			}
+			changed = true
+			s.discard(v)
+			for _, nb := range s.p.adj[v] {
+				switch s.status[nb] {
+				case statusC:
+					if s.degM[nb]+s.degC[nb] < int32(s.p.k) {
+						q = append(q, nb)
+					}
+				case statusM:
+					if s.degM[nb]+s.degC[nb] < int32(s.p.k) {
+						s.queue = q
+						return false
+					}
+				}
+			}
+		}
+		s.queue = q
+
+		// (3) Remark 1: similarity-free candidates adjacent to >= k
+		// chosen vertices can move straight to M.
+		if retention {
+			for v := int32(0); v < int32(s.p.n); v++ {
+				if s.status[v] == statusC && s.dpC[v] == 0 && s.dpM[v] == 0 &&
+					s.degM[v] >= int32(s.p.k) {
+					s.expand(v)
+					changed = true
+				}
+			}
+		}
+
+		// (4) Connectivity: candidates unreachable from M inside M∪C
+		// cannot join a connected core containing M.
+		if s.cntM > 0 {
+			if !s.pruneDisconnected() {
+				return false
+			}
+			// pruneDisconnected only discards C vertices; their removal
+			// may break degrees, handled by the next sweep.
+			for v := int32(0); v < int32(s.p.n); v++ {
+				if s.status[v] == statusC && s.degM[v]+s.degC[v] < int32(s.p.k) {
+					changed = true
+				}
+				if s.status[v] == statusM && s.degM[v]+s.degC[v] < int32(s.p.k) {
+					return false
+				}
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+}
+
+// pruneDisconnected discards candidates outside the M-component of M∪C.
+// Returns false when the vertices of M span multiple components.
+func (s *state) pruneDisconnected() bool {
+	var start int32 = -1
+	for v := int32(0); v < int32(s.p.n); v++ {
+		s.visited[v] = false
+		if start < 0 && s.status[v] == statusM {
+			start = v
+		}
+	}
+	if start < 0 {
+		return true
+	}
+	q := s.queue[:0]
+	q = append(q, start)
+	s.visited[start] = true
+	seenM := 1
+	for len(q) > 0 {
+		u := q[len(q)-1]
+		q = q[:len(q)-1]
+		for _, nb := range s.p.adj[u] {
+			st := s.status[nb]
+			if (st == statusM || st == statusC) && !s.visited[nb] {
+				s.visited[nb] = true
+				if st == statusM {
+					seenM++
+				}
+				q = append(q, nb)
+			}
+		}
+	}
+	s.queue = q[:0]
+	if seenM < s.cntM {
+		return false
+	}
+	discarded := false
+	for v := int32(0); v < int32(s.p.n); v++ {
+		if s.status[v] == statusC && !s.visited[v] {
+			s.discard(v)
+			discarded = true
+		}
+	}
+	_ = discarded
+	return true
+}
+
+// members collects the local ids currently holding any of the given
+// statuses, in ascending order, into dst.
+func (s *state) members(dst []int32, statuses ...byte) []int32 {
+	dst = dst[:0]
+	for v := int32(0); v < int32(s.p.n); v++ {
+		st := s.status[v]
+		for _, want := range statuses {
+			if st == want {
+				dst = append(dst, v)
+				break
+			}
+		}
+	}
+	return dst
+}
+
+// mcComponents returns the connected components of M∪C as local-id
+// slices.
+func (s *state) mcComponents() [][]int32 {
+	var comps [][]int32
+	for v := range s.visited {
+		s.visited[v] = false
+	}
+	for v := int32(0); v < int32(s.p.n); v++ {
+		st := s.status[v]
+		if (st != statusM && st != statusC) || s.visited[v] {
+			continue
+		}
+		comp := []int32{v}
+		s.visited[v] = true
+		q := s.queue[:0]
+		q = append(q, v)
+		for len(q) > 0 {
+			u := q[len(q)-1]
+			q = q[:len(q)-1]
+			for _, nb := range s.p.adj[u] {
+				nst := s.status[nb]
+				if (nst == statusM || nst == statusC) && !s.visited[nb] {
+					s.visited[nb] = true
+					comp = append(comp, nb)
+					q = append(q, nb)
+				}
+			}
+		}
+		s.queue = q[:0]
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// checkInvariants verifies the similarity and degree invariants
+// (Equations 1 and 2) plus counter consistency; used by tests only.
+func (s *state) checkInvariants() error {
+	cntM, cntC, cntE := 0, 0, 0
+	var sum int64
+	var edges int64
+	for v := int32(0); v < int32(s.p.n); v++ {
+		var dm, dc, pm, pc, pe int32
+		for _, nb := range s.p.adj[v] {
+			switch s.status[nb] {
+			case statusM:
+				dm++
+			case statusC:
+				dc++
+			}
+		}
+		for _, d := range s.p.dissim[v] {
+			switch s.status[d] {
+			case statusM:
+				pm++
+			case statusC:
+				pc++
+			case statusE:
+				pe++
+			}
+		}
+		if dm != s.degM[v] || dc != s.degC[v] || pm != s.dpM[v] || pc != s.dpC[v] || pe != s.dpE[v] {
+			return fmt.Errorf("counters of v=%d: got degM=%d degC=%d dpM=%d dpC=%d dpE=%d, want %d %d %d %d %d",
+				v, s.degM[v], s.degC[v], s.dpM[v], s.dpC[v], s.dpE[v], dm, dc, pm, pc, pe)
+		}
+		switch s.status[v] {
+		case statusM:
+			cntM++
+			if pm != 0 || pc != 0 {
+				return fmt.Errorf("similarity invariant violated at M vertex %d", v)
+			}
+			edges += int64(dm + dc)
+		case statusC:
+			cntC++
+			sum += int64(pc)
+			edges += int64(dm + dc)
+		case statusE:
+			cntE++
+			if pm != 0 {
+				return fmt.Errorf("E vertex %d dissimilar to M", v)
+			}
+		}
+	}
+	if cntM != s.cntM || cntC != s.cntC || cntE != s.cntE {
+		return fmt.Errorf("set sizes: got %d/%d/%d, want %d/%d/%d", s.cntM, s.cntC, s.cntE, cntM, cntC, cntE)
+	}
+	if sum != s.sumDpC {
+		return fmt.Errorf("sumDpC: got %d, want %d", s.sumDpC, sum)
+	}
+	if edges != 2*s.edgesMC {
+		return fmt.Errorf("edgesMC: got %d, want %d", s.edgesMC, edges/2)
+	}
+	return nil
+}

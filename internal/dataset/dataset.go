@@ -1,0 +1,422 @@
+// Package dataset generates the synthetic attributed social networks
+// used by the experiment harness, standing in for the four real datasets
+// of the paper (Brightkite, Gowalla, DBLP, Pokec; Table 3), which cannot
+// be downloaded in this offline environment.
+//
+// Each dataset is a sparse background graph with preferential-attachment
+// hubs plus planted communities whose members are both densely connected
+// (supporting the structure constraint) and attribute-coherent
+// (supporting the similarity constraint): geo datasets place communities
+// inside city clusters, keyword datasets give them coherent topics.
+// Consecutive communities can overlap, producing the fused candidate
+// components with many dissimilar pairs that make (k,r)-core search
+// non-trivial — the regime the paper's pruning techniques target.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"krcore/internal/attr"
+	"krcore/internal/graph"
+	"krcore/internal/similarity"
+)
+
+// Config parameterises a synthetic dataset.
+type Config struct {
+	Name string
+	Seed int64
+	N    int
+
+	// Background graph shape.
+	AvgDegree float64 // target average degree including community edges
+	HubCount  int     // number of high-degree hubs
+	HubDegree int     // approximate degree of each hub
+
+	// Planted communities.
+	NumCommunities int
+	CommunityMin   int
+	CommunityMax   int
+	IntraProb      float64 // edge probability inside a community
+	OverlapSize    int     // members shared between consecutive communities
+
+	// Attribute kind and parameters.
+	Kind attr.Kind
+
+	// Geo attributes (Kind == KindGeo). Units are kilometres.
+	Area           float64 // side of the square world
+	Cities         int     // number of city centres
+	CitySigma      float64 // member spread around a city
+	CommunitySigma float64 // member spread around its community centre
+
+	// Keyword attributes (KindKeywords / KindWeighted).
+	Vocab          int // vocabulary size
+	TopicWords     int // words per topic
+	WordsPerVertex int // words per vertex
+	NoiseFrac      float64
+	MaxWeight      int // weighted datasets: maximum keyword weight
+}
+
+// Dataset is a generated attributed graph.
+type Dataset struct {
+	Name  string
+	Graph *graph.Graph
+	Kind  attr.Kind
+
+	Keywords *attr.Keywords // set iff Kind == KindKeywords
+	Weighted *attr.Weighted // set iff Kind == KindWeighted
+	Geo      *attr.Geo      // set iff Kind == KindGeo
+
+	// Communities is the planted ground truth (useful for case
+	// studies); overlapping communities share OverlapSize members.
+	Communities [][]int32
+}
+
+// Metric returns the similarity metric matching the dataset's attribute
+// kind: weighted Jaccard for weighted keywords (DBLP, Pokec), Jaccard
+// for plain keywords, Euclidean distance for geo (Brightkite, Gowalla).
+func (d *Dataset) Metric() similarity.Metric {
+	switch d.Kind {
+	case attr.KindGeo:
+		return similarity.Euclidean{Store: d.Geo}
+	case attr.KindWeighted:
+		return similarity.WeightedJaccard{Store: d.Weighted}
+	default:
+		return similarity.Jaccard{Store: d.Keywords}
+	}
+}
+
+// Oracle returns a similarity oracle at threshold r (kilometres for geo
+// datasets, metric value otherwise).
+func (d *Dataset) Oracle(r float64) *similarity.Oracle {
+	return similarity.NewOracle(d.Metric(), r)
+}
+
+// TopPermille converts a "top p permille" specification into a metric
+// threshold using the sampled pairwise similarity distribution, as the
+// paper does for DBLP and Pokec. Only valid for keyword datasets.
+func (d *Dataset) TopPermille(p float64) float64 {
+	return similarity.TopPermille(d.Metric(), d.Graph.N(), p, 200000, 12345)
+}
+
+// Generate builds the dataset for the given configuration. The same
+// configuration always produces the same dataset.
+func Generate(cfg Config) (*Dataset, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("dataset: N must be >= 2, got %d", cfg.N)
+	}
+	if cfg.CommunityMax < cfg.CommunityMin {
+		return nil, fmt.Errorf("dataset: CommunityMax %d < CommunityMin %d", cfg.CommunityMax, cfg.CommunityMin)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	comms := planCommunities(cfg, rng)
+	b := graph.NewBuilder(cfg.N)
+	intraEdges := addCommunityEdges(b, comms, cfg, rng)
+	addBackgroundEdges(b, cfg, rng, intraEdges)
+	g := b.Build()
+
+	d := &Dataset{Name: cfg.Name, Graph: g, Kind: cfg.Kind, Communities: comms}
+	switch cfg.Kind {
+	case attr.KindGeo:
+		d.Geo = generateGeo(cfg, comms, rng)
+	case attr.KindWeighted:
+		d.Weighted = generateWeighted(cfg, comms, rng)
+	default:
+		d.Keywords = generateKeywords(cfg, comms, rng)
+	}
+	return d, nil
+}
+
+// planCommunities assigns members to communities. Members are drawn from
+// a shuffled vertex pool so communities are disjoint except for the
+// explicit overlap with the previous community.
+func planCommunities(cfg Config, rng *rand.Rand) [][]int32 {
+	pool := rng.Perm(cfg.N)
+	next := 0
+	take := func(n int) []int32 {
+		out := make([]int32, 0, n)
+		for len(out) < n && next < len(pool) {
+			out = append(out, int32(pool[next]))
+			next++
+		}
+		return out
+	}
+	var comms [][]int32
+	for i := 0; i < cfg.NumCommunities; i++ {
+		size := cfg.CommunityMin
+		if cfg.CommunityMax > cfg.CommunityMin {
+			size += rng.Intn(cfg.CommunityMax - cfg.CommunityMin + 1)
+		}
+		var members []int32
+		if i > 0 && cfg.OverlapSize > 0 && len(comms) > 0 {
+			prev := comms[len(comms)-1]
+			k := cfg.OverlapSize
+			if k > len(prev) {
+				k = len(prev)
+			}
+			members = append(members, prev[len(prev)-k:]...)
+			size -= k
+		}
+		members = append(members, take(size)...)
+		if len(members) >= 3 {
+			comms = append(comms, members)
+		}
+	}
+	return comms
+}
+
+// addCommunityEdges wires each community as a dense random subgraph.
+func addCommunityEdges(b *graph.Builder, comms [][]int32, cfg Config, rng *rand.Rand) int {
+	edges := 0
+	for _, c := range comms {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				if rng.Float64() < cfg.IntraProb {
+					b.AddEdge(c[i], c[j])
+					edges++
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// addBackgroundEdges adds preferential-attachment noise edges up to the
+// target average degree, plus explicit hubs for the skewed dmax of
+// Table 3.
+func addBackgroundEdges(b *graph.Builder, cfg Config, rng *rand.Rand, existing int) {
+	target := int(cfg.AvgDegree * float64(cfg.N) / 2)
+	remaining := target - existing
+	if remaining < 0 {
+		remaining = 0
+	}
+	// Preferential attachment via a repeated-endpoint list.
+	repeated := make([]int32, 0, 2*remaining+2)
+	randomVertex := func() int32 { return int32(rng.Intn(cfg.N)) }
+	biasedVertex := func() int32 {
+		if len(repeated) == 0 || rng.Float64() < 0.3 {
+			return randomVertex()
+		}
+		return repeated[rng.Intn(len(repeated))]
+	}
+	for i := 0; i < remaining; i++ {
+		u := randomVertex()
+		v := biasedVertex()
+		if u == v {
+			continue
+		}
+		b.AddEdge(u, v)
+		repeated = append(repeated, u, v)
+	}
+	for h := 0; h < cfg.HubCount; h++ {
+		hub := randomVertex()
+		for i := 0; i < cfg.HubDegree; i++ {
+			v := randomVertex()
+			if v != hub {
+				b.AddEdge(hub, v)
+			}
+		}
+	}
+}
+
+// generateGeo places cities uniformly and then walks community centres
+// along chains: consecutive (overlapping) communities sit a city-sigma
+// step apart, so at any distance threshold some prefix of each chain
+// fuses into one candidate component whose boundary members straddle
+// the threshold — the continuous geography that makes real check-in
+// networks hard for (k,r)-core search. Background users gather around
+// the chain corridors with a uniform minority elsewhere.
+func generateGeo(cfg Config, comms [][]int32, rng *rand.Rand) *attr.Geo {
+	geo := attr.NewGeo(cfg.N)
+	cities := make([]attr.Point, cfg.Cities)
+	for i := range cities {
+		cities[i] = attr.Point{X: rng.Float64() * cfg.Area, Y: rng.Float64() * cfg.Area}
+	}
+	// Community centres: long chain walks between rare city restarts,
+	// so chains span several hundred kilometres and keep dissimilar
+	// tension inside fused components across the whole threshold sweep.
+	centers := make([]attr.Point, len(comms))
+	cur := cities[0]
+	for i := range comms {
+		if i == 0 || rng.Float64() < 0.12 {
+			cur = cities[rng.Intn(len(cities))]
+		} else {
+			step := cfg.CitySigma * (0.8 + 0.7*rng.Float64())
+			angle := rng.Float64() * 2 * math.Pi
+			cur = attr.Point{
+				X: cur.X + step*math.Cos(angle),
+				Y: cur.Y + step*math.Sin(angle),
+			}
+		}
+		centers[i] = cur
+	}
+	// Background: near a community corridor, a city, or uniform.
+	for u := 0; u < cfg.N; u++ {
+		var base attr.Point
+		var sigma float64
+		switch roll := rng.Float64(); {
+		case roll < 0.45 && len(centers) > 0:
+			base = centers[rng.Intn(len(centers))]
+			sigma = 2.5 * cfg.CommunitySigma
+		case roll < 0.85:
+			base = cities[rng.Intn(len(cities))]
+			sigma = cfg.CitySigma
+		default:
+			geo.SetVertex(int32(u), attr.Point{X: rng.Float64() * cfg.Area, Y: rng.Float64() * cfg.Area})
+			continue
+		}
+		geo.SetVertex(int32(u), attr.Point{
+			X: base.X + rng.NormFloat64()*sigma,
+			Y: base.Y + rng.NormFloat64()*sigma,
+		})
+	}
+	for i, comm := range comms {
+		for _, v := range comm {
+			geo.SetVertex(v, attr.Point{
+				X: centers[i].X + rng.NormFloat64()*cfg.CommunitySigma,
+				Y: centers[i].Y + rng.NormFloat64()*cfg.CommunitySigma,
+			})
+		}
+	}
+	return geo
+}
+
+// topicOf deterministically assigns a topic to each community, reusing
+// topics when there are more communities than topics so that distinct
+// communities can share research areas (as DBLP groups do).
+func topicCount(cfg Config) int {
+	t := cfg.Vocab / maxInt(cfg.TopicWords, 1)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// drawWords samples a background vertex's keywords: mostly from its
+// topic, the rest uniform noise from the vocabulary.
+func drawWords(cfg Config, topic int, noise float64, rng *rand.Rand) []int32 {
+	words := make([]int32, 0, cfg.WordsPerVertex)
+	topicBase := int32(topic * cfg.TopicWords)
+	for len(words) < cfg.WordsPerVertex {
+		if rng.Float64() < noise {
+			words = append(words, int32(rng.Intn(maxInt(cfg.Vocab, 1))))
+		} else {
+			words = append(words, topicBase+int32(rng.Intn(maxInt(cfg.TopicWords, 1))))
+		}
+	}
+	return words
+}
+
+// communityCore draws the shared core vocabulary of one community: every
+// member carries these words, so intra-community similarity is directly
+// governed by the core fraction. Tightness varies per community — some
+// communities share almost their whole vocabulary, some only half — so
+// a top-permille threshold sweep admits communities gradually.
+func communityCore(cfg Config, topic int, rng *rand.Rand) (core []int32, coreFrac float64) {
+	coreFrac = 0.45 + 0.5*rng.Float64() // per-community tightness
+	size := int(coreFrac * float64(cfg.WordsPerVertex))
+	if size < 1 {
+		size = 1
+	}
+	topicBase := int32(topic * cfg.TopicWords)
+	perm := rng.Perm(maxInt(cfg.TopicWords, size))
+	core = make([]int32, 0, size)
+	for _, w := range perm[:size] {
+		core = append(core, topicBase+int32(w%maxInt(cfg.TopicWords, 1)))
+	}
+	return core, coreFrac
+}
+
+// memberWords gives one community member the shared core plus personal
+// extra words drawn from the topic and the global vocabulary.
+func memberWords(cfg Config, core []int32, topic int, rng *rand.Rand) []int32 {
+	words := append([]int32(nil), core...)
+	topicBase := int32(topic * cfg.TopicWords)
+	for len(words) < cfg.WordsPerVertex {
+		if rng.Float64() < 0.5 {
+			words = append(words, int32(rng.Intn(maxInt(cfg.Vocab, 1))))
+		} else {
+			words = append(words, topicBase+int32(rng.Intn(maxInt(cfg.TopicWords, 1))))
+		}
+	}
+	return words
+}
+
+// communityTopics assigns a topic to every community. Consecutive
+// (overlapping) communities keep the same topic half of the time,
+// forming research-area chains: their members are partially similar, so
+// at looser thresholds the chain fuses into one large candidate
+// component with many dissimilar pairs — the hard instances the paper's
+// pruning rules target.
+func communityTopics(nComms, topics int, rng *rand.Rand) []int {
+	out := make([]int, nComms)
+	for i := range out {
+		if i > 0 && rng.Float64() < 0.5 {
+			out[i] = out[i-1]
+		} else {
+			out[i] = rng.Intn(topics)
+		}
+	}
+	return out
+}
+
+func generateKeywords(cfg Config, comms [][]int32, rng *rand.Rand) *attr.Keywords {
+	kw := attr.NewKeywords(cfg.N)
+	topics := topicCount(cfg)
+	bgNoise := cfg.NoiseFrac + 0.3
+	for u := 0; u < cfg.N; u++ {
+		kw.SetVertex(int32(u), drawWords(cfg, rng.Intn(topics), bgNoise, rng))
+	}
+	topicOf := communityTopics(len(comms), topics, rng)
+	for i, comm := range comms {
+		core, _ := communityCore(cfg, topicOf[i], rng)
+		for _, v := range comm {
+			kw.SetVertex(v, memberWords(cfg, core, topicOf[i], rng))
+		}
+	}
+	return kw
+}
+
+func generateWeighted(cfg Config, comms [][]int32, rng *rand.Rand) *attr.Weighted {
+	ww := attr.NewWeighted(cfg.N)
+	topics := topicCount(cfg)
+	maxW := maxInt(cfg.MaxWeight, 1)
+	toEntries := func(words []int32, coreLen int) []attr.WeightedEntry {
+		entries := make([]attr.WeightedEntry, 0, len(words))
+		for i, w := range words {
+			// Core venues get a stable weight so the weighted Jaccard
+			// inside a community stays high; personal extras are
+			// skewed (most venues appear once or twice, a few often).
+			weight := 2
+			if i >= coreLen {
+				weight = 1
+				for weight < maxW && rng.Float64() < 0.45 {
+					weight++
+				}
+			}
+			entries = append(entries, attr.WeightedEntry{Key: w, Weight: float64(weight)})
+		}
+		return entries
+	}
+	bgNoise := cfg.NoiseFrac + 0.3
+	for u := 0; u < cfg.N; u++ {
+		ww.SetVertex(int32(u), toEntries(drawWords(cfg, rng.Intn(topics), bgNoise, rng), 0))
+	}
+	topicOf := communityTopics(len(comms), topics, rng)
+	for i, comm := range comms {
+		core, _ := communityCore(cfg, topicOf[i], rng)
+		for _, v := range comm {
+			ww.SetVertex(v, toEntries(memberWords(cfg, core, topicOf[i], rng), len(core)))
+		}
+	}
+	return ww
+}

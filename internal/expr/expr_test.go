@@ -1,0 +1,130 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReportRender(t *testing.T) {
+	rep := &Report{
+		ID:     "x",
+		Title:  "Test figure",
+		XLabel: "k",
+		Xs:     []string{"1", "2"},
+		Notes:  []string{"a note"},
+	}
+	rep.AddSeries("algo-a", []string{"1ms", "INF"})
+	rep.AddSeries("algo-b", []string{"2ms", "3ms"})
+	out := rep.String()
+	for _, want := range []string{"Test figure", "algo-a", "INF", "a note", "algo-b"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+	// Header and series rows must have consistent column counts.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("report too short:\n%s", out)
+	}
+}
+
+func TestFmtDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		inf  bool
+		want string
+	}{
+		{500 * time.Microsecond, false, "0.50ms"},
+		{25 * time.Millisecond, false, "25ms"},
+		{2500 * time.Millisecond, false, "2.50s"},
+		{time.Second, true, "INF"},
+	}
+	for _, c := range cases {
+		if got := fmtDuration(c.d, c.inf); got != c.want {
+			t.Fatalf("fmtDuration(%v, %v) = %q, want %q", c.d, c.inf, got, c.want)
+		}
+	}
+}
+
+func TestRunnerCaching(t *testing.T) {
+	r := NewRunner(time.Second)
+	d1 := r.Dataset("brightkite")
+	d2 := r.Dataset("brightkite")
+	if d1 != d2 {
+		t.Fatal("datasets must be cached")
+	}
+	t1 := r.Permille("dblp", 3)
+	t2 := r.Permille("dblp", 3)
+	if t1 != t2 || t1 <= 0 {
+		t.Fatalf("threshold caching broken: %v vs %v", t1, t2)
+	}
+}
+
+func TestVariantsExist(t *testing.T) {
+	for _, v := range []string{"BasicEnum", "BE+CR", "BE+CR+ET", "AdvEnum", "AdvEnum-O", "AdvEnum-P"} {
+		_ = EnumVariant(v)
+	}
+	for _, v := range []string{"BasicMax", "AdvMax", "AdvMax-O", "AdvMax-UB", "|M|+|C|", "Color+Kcore", "DoubleKcore"} {
+		_ = MaxVariant(v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown variant must panic")
+		}
+	}()
+	_ = EnumVariant("nope")
+}
+
+func TestFindExperiment(t *testing.T) {
+	if Find("fig9a") == nil || Find("table3") == nil {
+		t.Fatal("known experiments not found")
+	}
+	if Find("nonexistent") != nil {
+		t.Fatal("unknown experiment should return nil")
+	}
+	// Ids must be unique.
+	seen := map[string]bool{}
+	for _, e := range Experiments {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil {
+			t.Fatalf("experiment %s has no Run", e.ID)
+		}
+	}
+}
+
+// TestExperimentsSmoke runs every experiment with a tiny budget and
+// verifies each produces a structurally valid report: series lengths
+// match the x grid and the id matches the registry.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take a while even with small budgets")
+	}
+	r := NewRunner(100 * time.Millisecond)
+	for _, e := range Experiments {
+		rep := e.Run(r)
+		if rep.ID != e.ID {
+			t.Fatalf("experiment %s produced report id %s", e.ID, rep.ID)
+		}
+		if rep.Title == "" {
+			t.Fatalf("experiment %s has no title", e.ID)
+		}
+		for _, s := range rep.Series {
+			if len(s.Cells) != len(rep.Xs) {
+				t.Fatalf("experiment %s series %s has %d cells for %d x-values",
+					e.ID, s.Name, len(s.Cells), len(rep.Xs))
+			}
+			for _, c := range s.Cells {
+				if c == "" {
+					t.Fatalf("experiment %s series %s has an empty cell", e.ID, s.Name)
+				}
+			}
+		}
+		if len(rep.Series) == 0 && len(rep.Notes) == 0 {
+			t.Fatalf("experiment %s produced an empty report", e.ID)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package expr is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation (Section 8) on the synthetic
+// stand-in datasets, with per-cell time budgets and the paper's INF
+// convention for cells that exceed them.
+package expr
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Report is one reproduced table or figure: a grid of formatted cells
+// with one row per series and one column per x-axis value.
+type Report struct {
+	ID     string // e.g. "fig9a"
+	Title  string // e.g. "Figure 9(a): pruning techniques, Gowalla k=5"
+	XLabel string // e.g. "r (km)"
+	Xs     []string
+	Series []Series
+	// Notes carries free-form lines (case-study output, caveats).
+	Notes []string
+}
+
+// Series is one curve/bar group of a figure.
+type Series struct {
+	Name  string
+	Cells []string
+}
+
+// AddSeries appends a series; the number of cells should match len(Xs).
+func (r *Report) AddSeries(name string, cells []string) {
+	r.Series = append(r.Series, Series{Name: name, Cells: cells})
+}
+
+// Render writes the report as an aligned text table.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", r.Title)
+	if len(r.Xs) > 0 {
+		// Column widths.
+		nameW := len(r.XLabel)
+		for _, s := range r.Series {
+			if len(s.Name) > nameW {
+				nameW = len(s.Name)
+			}
+		}
+		colW := make([]int, len(r.Xs))
+		for i, x := range r.Xs {
+			colW[i] = len(x)
+			for _, s := range r.Series {
+				if i < len(s.Cells) && len(s.Cells[i]) > colW[i] {
+					colW[i] = len(s.Cells[i])
+				}
+			}
+		}
+		fmt.Fprintf(w, "%-*s", nameW+2, r.XLabel)
+		for i, x := range r.Xs {
+			fmt.Fprintf(w, "  %*s", colW[i], x)
+		}
+		fmt.Fprintln(w)
+		for _, s := range r.Series {
+			fmt.Fprintf(w, "%-*s", nameW+2, s.Name)
+			for i := range r.Xs {
+				cell := ""
+				if i < len(s.Cells) {
+					cell = s.Cells[i]
+				}
+				fmt.Fprintf(w, "  %*s", colW[i], cell)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders to a string (for tests and logs).
+func (r *Report) String() string {
+	var b strings.Builder
+	r.Render(&b)
+	return b.String()
+}
+
+// fmtDuration formats a measured cell the way the paper's log-scale
+// plots read: seconds with enough precision at the fast end, INF when
+// the budget was exceeded.
+func fmtDuration(d time.Duration, inf bool) string {
+	if inf {
+		return "INF"
+	}
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	case d < time.Second:
+		return fmt.Sprintf("%.0fms", float64(d.Milliseconds()))
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

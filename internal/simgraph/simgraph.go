@@ -1,0 +1,107 @@
+// Package simgraph materialises similarity structure for a vertex set.
+//
+// The paper's similarity graph G' connects every similar vertex pair
+// (Section 3). Inside a candidate component, similar pairs vastly
+// outnumber dissimilar ones (otherwise no (k,r)-core could exist there),
+// so the search engine stores the complement — dissimilarity adjacency
+// lists — and derives similarity degrees as (n-1) - |dissimilar|. The
+// Clique+ baseline and the colour/k-core upper bounds use the explicit
+// similarity graph instead.
+package simgraph
+
+import (
+	"sort"
+
+	"krcore/internal/graph"
+	"krcore/internal/similarity"
+)
+
+// Dissim holds, for a set of vertices with local ids 0..n-1, the sorted
+// list of locally-dissimilar vertices of each vertex, plus the total
+// number of dissimilar pairs.
+type Dissim struct {
+	Lists [][]int32
+	Pairs int
+}
+
+// BuildDissim computes the pairwise dissimilarity lists for the given
+// global vertices under the oracle. Local id i corresponds to
+// vertices[i]. O(len(vertices)^2) oracle queries.
+func BuildDissim(o *similarity.Oracle, vertices []int32) *Dissim {
+	n := len(vertices)
+	d := &Dissim{Lists: make([][]int32, n)}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !o.Similar(vertices[i], vertices[j]) {
+				d.Lists[i] = append(d.Lists[i], int32(j))
+				d.Lists[j] = append(d.Lists[j], int32(i))
+				d.Pairs++
+			}
+		}
+	}
+	return d
+}
+
+// SimilarityGraph materialises the explicit similarity graph on the given
+// global vertices: local vertices i and j are adjacent iff vertices[i]
+// and vertices[j] are similar. O(len(vertices)^2) oracle queries.
+func SimilarityGraph(o *similarity.Oracle, vertices []int32) *graph.Graph {
+	n := len(vertices)
+	adj := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if o.Similar(vertices[i], vertices[j]) {
+				adj[i] = append(adj[i], int32(j))
+				adj[j] = append(adj[j], int32(i))
+			}
+		}
+	}
+	for i := range adj {
+		nb := adj[i]
+		sort.Slice(nb, func(a, b int) bool { return nb[a] < nb[b] })
+	}
+	return graph.FromAdjacency(adj)
+}
+
+// Complement returns the similarity graph implied by d (the complement of
+// the dissimilarity lists on n local vertices). Useful for tests and for
+// the baseline upper bounds on small candidate sets.
+func (d *Dissim) Complement() *graph.Graph {
+	n := len(d.Lists)
+	adj := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		dis := d.Lists[i]
+		k := 0
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			for k < len(dis) && int(dis[k]) < j {
+				k++
+			}
+			if k < len(dis) && int(dis[k]) == j {
+				continue
+			}
+			adj[i] = append(adj[i], int32(j))
+		}
+	}
+	return graph.FromAdjacency(adj)
+}
+
+// SimDegree returns n-1-|dissim(i)|, the similarity degree of local
+// vertex i within the whole set.
+func (d *Dissim) SimDegree(i int32) int {
+	return len(d.Lists) - 1 - len(d.Lists[i])
+}
+
+// IsDissimilar reports whether local vertices i and j are dissimilar.
+// O(log) via binary search on the shorter list.
+func (d *Dissim) IsDissimilar(i, j int32) bool {
+	l := d.Lists[i]
+	if len(d.Lists[j]) < len(l) {
+		l = d.Lists[j]
+		i, j = j, i
+	}
+	k := sort.Search(len(l), func(k int) bool { return l[k] >= j })
+	return k < len(l) && l[k] == j
+}

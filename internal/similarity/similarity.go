@@ -1,0 +1,178 @@
+// Package similarity defines the pairwise vertex-similarity metrics and
+// the thresholded similarity oracle used by every (k,r)-core algorithm.
+//
+// Following the paper's convention, two vertices are similar when
+// sim(u,v) >= r for a similarity metric (Jaccard, weighted Jaccard) and
+// when dist(u,v) <= r for a distance metric (Euclidean). The package also
+// provides the "top p permille" threshold calibration used for the DBLP
+// and Pokec experiments: the threshold is the p/1000 quantile of the
+// pairwise similarity distribution in decreasing order.
+package similarity
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"krcore/internal/attr"
+)
+
+// Metric scores a vertex pair. Direction tells whether larger scores mean
+// more similar (similarity metrics) or less similar (distance metrics).
+type Metric interface {
+	// Score returns the raw metric value for the pair (u,v). It must be
+	// symmetric: Score(u,v) == Score(v,u).
+	Score(u, v int32) float64
+	// Distance reports whether the metric is a distance (smaller is more
+	// similar) rather than a similarity.
+	Distance() bool
+	// Name returns a short metric name for logs and tables.
+	Name() string
+}
+
+// Jaccard is the plain Jaccard set-similarity metric over a Keywords
+// store.
+type Jaccard struct{ Store *attr.Keywords }
+
+// Score implements Metric.
+func (m Jaccard) Score(u, v int32) float64 { return m.Store.Jaccard(u, v) }
+
+// Distance implements Metric; Jaccard is a similarity.
+func (m Jaccard) Distance() bool { return false }
+
+// Name implements Metric.
+func (m Jaccard) Name() string { return "jaccard" }
+
+// WeightedJaccard is the weighted Jaccard metric over a Weighted store,
+// the metric the paper uses for DBLP and Pokec.
+type WeightedJaccard struct{ Store *attr.Weighted }
+
+// Score implements Metric.
+func (m WeightedJaccard) Score(u, v int32) float64 { return m.Store.WeightedJaccard(u, v) }
+
+// Distance implements Metric; weighted Jaccard is a similarity.
+func (m WeightedJaccard) Distance() bool { return false }
+
+// Name implements Metric.
+func (m WeightedJaccard) Name() string { return "weighted-jaccard" }
+
+// Euclidean is the Euclidean distance metric over a Geo store, the metric
+// the paper uses for Brightkite and Gowalla.
+type Euclidean struct{ Store *attr.Geo }
+
+// Score implements Metric and returns the distance in the store's unit
+// (kilometres for the synthetic datasets).
+func (m Euclidean) Score(u, v int32) float64 { return math.Sqrt(m.Store.Distance2(u, v)) }
+
+// Distance implements Metric; Euclidean is a distance.
+func (m Euclidean) Distance() bool { return true }
+
+// Name implements Metric.
+func (m Euclidean) Name() string { return "euclidean" }
+
+// Oracle answers thresholded pairwise similarity queries: Similar(u,v)
+// is sim(u,v) >= r for similarity metrics and dist(u,v) <= r for
+// distance metrics.
+type Oracle struct {
+	metric Metric
+	r      float64
+	// geo fast path: avoids the sqrt per query.
+	geo *attr.Geo
+	r2  float64
+}
+
+// NewOracle builds an Oracle for metric at threshold r.
+func NewOracle(metric Metric, r float64) *Oracle {
+	o := &Oracle{metric: metric, r: r}
+	if e, ok := metric.(Euclidean); ok {
+		o.geo = e.Store
+		o.r2 = r * r
+	}
+	return o
+}
+
+// Metric returns the underlying metric.
+func (o *Oracle) Metric() Metric { return o.metric }
+
+// Threshold returns the similarity threshold r.
+func (o *Oracle) Threshold() float64 { return o.r }
+
+// Similar reports whether u and v are similar with respect to the
+// threshold. A vertex is always similar to itself.
+func (o *Oracle) Similar(u, v int32) bool {
+	if u == v {
+		return true
+	}
+	if o.geo != nil {
+		return o.geo.Distance2(u, v) <= o.r2
+	}
+	if o.metric.Distance() {
+		return o.metric.Score(u, v) <= o.r
+	}
+	return o.metric.Score(u, v) >= o.r
+}
+
+// TopPermille returns the similarity threshold corresponding to the top
+// p permille of the pairwise score distribution (decreasing order), the
+// calibration the paper uses for DBLP and Pokec ("r = top 3‰"). The
+// distribution is estimated from sample random vertex pairs drawn with
+// the given seed; n is the vertex count. Only valid for similarity
+// (non-distance) metrics.
+//
+// A smaller p means a higher threshold (fewer similar pairs); p is
+// clamped to (0, 1000].
+func TopPermille(metric Metric, n int, p float64, sample int, seed int64) float64 {
+	if metric.Distance() {
+		panic("similarity: TopPermille requires a similarity metric")
+	}
+	if n < 2 {
+		return math.Inf(1)
+	}
+	if p <= 0 {
+		p = 0.001
+	}
+	if p > 1000 {
+		p = 1000
+	}
+	if sample <= 0 {
+		sample = 100000
+	}
+	maxPairs := n * (n - 1) / 2
+	if sample > maxPairs {
+		sample = maxPairs
+	}
+	rng := rand.New(rand.NewSource(seed))
+	scores := make([]float64, 0, sample)
+	for len(scores) < sample {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		scores = append(scores, metric.Score(u, v))
+	}
+	// Sort decreasing; the threshold is the value at rank p/1000 * len.
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	idx := int(p / 1000 * float64(len(scores)))
+	if idx >= len(scores) {
+		idx = len(scores) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return scores[idx]
+}
+
+// CountSimilarPairs exhaustively counts similar pairs among the given
+// vertices. Intended for tests and small statistics; O(len(vs)^2).
+func CountSimilarPairs(o *Oracle, vs []int32) int {
+	cnt := 0
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			if o.Similar(vs[i], vs[j]) {
+				cnt++
+			}
+		}
+	}
+	return cnt
+}
