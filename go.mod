@@ -1,0 +1,3 @@
+module krcore
+
+go 1.24

@@ -5,6 +5,11 @@
 // journal lists in DBLP, interest frequencies in Pokec), and 2-D
 // geographic points (Brightkite, Gowalla check-in homes). Similarity
 // metrics over these stores live in package similarity.
+//
+// The keyword stores are flat CSR structures: one backing slice of
+// keys (plus a parallel weight slice for Weighted) with per-vertex
+// offset/length headers, so bulk similarity scans walk contiguous
+// memory instead of chasing one heap slice per vertex.
 package attr
 
 import "sort"
@@ -35,18 +40,29 @@ func (k Kind) String() string {
 	}
 }
 
-// Keywords stores a sorted, deduplicated keyword-id set per vertex.
+// span locates one vertex's attribute run inside a backing slice.
+type span struct {
+	off int32
+	n   int32
+}
+
+// Keywords stores a sorted, deduplicated keyword-id set per vertex in
+// CSR form: all keys live in one backing slice, addressed by per-vertex
+// spans.
 type Keywords struct {
-	sets [][]int32
+	keys  []int32
+	spans []span
 }
 
 // NewKeywords returns a Keywords store for n vertices with empty sets.
 func NewKeywords(n int) *Keywords {
-	return &Keywords{sets: make([][]int32, n)}
+	return &Keywords{spans: make([]span, n)}
 }
 
 // SetVertex assigns the keyword set of vertex u; the slice is sorted and
-// deduplicated in place.
+// deduplicated in place before being copied into the backing slice.
+// Re-assigning a vertex reuses its slot when the new set fits and
+// appends fresh backing space otherwise.
 func (s *Keywords) SetVertex(u int32, kws []int32) {
 	sort.Slice(kws, func(i, j int) bool { return kws[i] < kws[j] })
 	w := 0
@@ -57,21 +73,35 @@ func (s *Keywords) SetVertex(u int32, kws []int32) {
 		kws[w] = v
 		w++
 	}
-	s.sets[u] = kws[:w]
+	kws = kws[:w]
+	sp := s.spans[u]
+	if int(sp.n) >= w {
+		copy(s.keys[sp.off:], kws)
+		s.spans[u].n = int32(w)
+		return
+	}
+	s.spans[u] = span{off: int32(len(s.keys)), n: int32(w)}
+	s.keys = append(s.keys, kws...)
 }
 
-// Vertex returns the sorted keyword set of u (shared slice; do not
-// modify).
-func (s *Keywords) Vertex(u int32) []int32 { return s.sets[u] }
+// Vertex returns the sorted keyword set of u (a view into the backing
+// slice; do not modify).
+func (s *Keywords) Vertex(u int32) []int32 {
+	sp := s.spans[u]
+	return s.keys[sp.off : sp.off+sp.n : sp.off+sp.n]
+}
+
+// Len returns the keyword count of u without materialising the view.
+func (s *Keywords) Len(u int32) int { return int(s.spans[u].n) }
 
 // N returns the number of vertices.
-func (s *Keywords) N() int { return len(s.sets) }
+func (s *Keywords) N() int { return len(s.spans) }
 
 // Jaccard returns |A∩B| / |A∪B| for the keyword sets of u and v. Two
 // empty sets have similarity 0 by convention (such users share no
 // interests we can observe).
 func (s *Keywords) Jaccard(u, v int32) float64 {
-	a, b := s.sets[u], s.sets[v]
+	a, b := s.Vertex(u), s.Vertex(v)
 	if len(a) == 0 && len(b) == 0 {
 		return 0
 	}
@@ -100,19 +130,23 @@ type WeightedEntry struct {
 	Weight float64
 }
 
-// Weighted stores a sorted keyword->weight list per vertex. Weights must
-// be non-negative.
+// Weighted stores a sorted keyword->weight list per vertex in CSR form:
+// parallel key and weight backing slices addressed by per-vertex spans.
+// Weights must be non-negative.
 type Weighted struct {
-	sets [][]WeightedEntry
+	keys    []int32
+	weights []float64
+	spans   []span
 }
 
 // NewWeighted returns a Weighted store for n vertices with empty lists.
 func NewWeighted(n int) *Weighted {
-	return &Weighted{sets: make([][]WeightedEntry, n)}
+	return &Weighted{spans: make([]span, n)}
 }
 
 // SetVertex assigns the weighted keyword list of u; entries are sorted by
-// key and duplicate keys have their weights summed.
+// key and duplicate keys have their weights summed. Re-assigning a
+// vertex reuses its slot when the new list fits.
 func (s *Weighted) SetVertex(u int32, entries []WeightedEntry) {
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
 	w := 0
@@ -124,41 +158,78 @@ func (s *Weighted) SetVertex(u int32, entries []WeightedEntry) {
 		entries[w] = e
 		w++
 	}
-	s.sets[u] = entries[:w]
+	entries = entries[:w]
+	sp := s.spans[u]
+	if int(sp.n) < w {
+		sp = span{off: int32(len(s.keys)), n: int32(w)}
+		s.keys = append(s.keys, make([]int32, w)...)
+		s.weights = append(s.weights, make([]float64, w)...)
+	}
+	sp.n = int32(w)
+	for i, e := range entries {
+		s.keys[int(sp.off)+i] = e.Key
+		s.weights[int(sp.off)+i] = e.Weight
+	}
+	s.spans[u] = sp
 }
 
-// Vertex returns the sorted weighted keyword list of u (shared slice; do
+// Vertex returns the sorted weighted keyword list of u as a freshly
+// allocated slice (the store itself keeps keys and weights in parallel
+// backing arrays).
+func (s *Weighted) Vertex(u int32) []WeightedEntry {
+	sp := s.spans[u]
+	out := make([]WeightedEntry, sp.n)
+	for i := range out {
+		out[i] = WeightedEntry{Key: s.keys[int(sp.off)+i], Weight: s.weights[int(sp.off)+i]}
+	}
+	return out
+}
+
+// Keys returns the sorted key list of u (a view; do not modify).
+func (s *Weighted) Keys(u int32) []int32 {
+	sp := s.spans[u]
+	return s.keys[sp.off : sp.off+sp.n : sp.off+sp.n]
+}
+
+// Weights returns the weight list of u, parallel to Keys (a view; do
 // not modify).
-func (s *Weighted) Vertex(u int32) []WeightedEntry { return s.sets[u] }
+func (s *Weighted) Weights(u int32) []float64 {
+	sp := s.spans[u]
+	return s.weights[sp.off : sp.off+sp.n : sp.off+sp.n]
+}
+
+// Len returns the entry count of u.
+func (s *Weighted) Len(u int32) int { return int(s.spans[u].n) }
 
 // N returns the number of vertices.
-func (s *Weighted) N() int { return len(s.sets) }
+func (s *Weighted) N() int { return len(s.spans) }
 
 // WeightedJaccard returns Σ min(a_i, b_i) / Σ max(a_i, b_i) over the
 // union of keys, the metric the paper uses for DBLP and Pokec. Two empty
 // lists have similarity 0.
 func (s *Weighted) WeightedJaccard(u, v int32) float64 {
-	a, b := s.sets[u], s.sets[v]
-	if len(a) == 0 && len(b) == 0 {
+	ak, aw := s.Keys(u), s.Weights(u)
+	bk, bw := s.Keys(v), s.Weights(v)
+	if len(ak) == 0 && len(bk) == 0 {
 		return 0
 	}
 	var num, den float64
 	i, j := 0, 0
-	for i < len(a) || j < len(b) {
+	for i < len(ak) || j < len(bk) {
 		switch {
-		case j >= len(b) || (i < len(a) && a[i].Key < b[j].Key):
-			den += a[i].Weight
+		case j >= len(bk) || (i < len(ak) && ak[i] < bk[j]):
+			den += aw[i]
 			i++
-		case i >= len(a) || b[j].Key < a[i].Key:
-			den += b[j].Weight
+		case i >= len(ak) || bk[j] < ak[i]:
+			den += bw[j]
 			j++
 		default:
-			if a[i].Weight < b[j].Weight {
-				num += a[i].Weight
-				den += b[j].Weight
+			if aw[i] < bw[j] {
+				num += aw[i]
+				den += bw[j]
 			} else {
-				num += b[j].Weight
-				den += a[i].Weight
+				num += bw[j]
+				den += aw[i]
 			}
 			i++
 			j++
@@ -176,7 +247,7 @@ type Point struct {
 	X, Y float64
 }
 
-// Geo stores one Point per vertex.
+// Geo stores one Point per vertex (already flat: one backing slice).
 type Geo struct {
 	pts []Point
 }

@@ -6,6 +6,7 @@ import (
 	"krcore/internal/clique"
 	"krcore/internal/graph"
 	"krcore/internal/simgraph"
+	"krcore/internal/simindex"
 )
 
 // CliquePlus is the improved clique-based baseline of Section 3: compute
@@ -22,8 +23,9 @@ func CliquePlus(g *graph.Graph, p Params, limits Limits) (*Result, error) {
 	bud := &budget{limits: limits}
 	var all [][]int32
 	for _, prob := range prepare(g, p) {
-		// The similarity graph of the component, on local ids.
-		simG := simgraph.SimilarityGraph(p.Oracle, prob.orig)
+		// The similarity graph of the component, on local ids, built in
+		// bulk through the oracle's similarity index.
+		simG := simgraph.SimilarityGraphBulk(simindex.For(p.Oracle), prob.orig)
 		clique.MaximalCliques(simG, func(q []int32) bool {
 			if !bud.step() {
 				return false

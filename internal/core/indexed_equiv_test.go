@@ -1,0 +1,171 @@
+package core
+
+// Cross-checks between the indexed preprocessing path (simindex) and
+// the serial per-pair oracle path, on the Table 3 dataset presets: the
+// acceptance bar for the bulk-similarity engine is bit-identical
+// problems and bit-identical search results.
+
+import (
+	"math/rand"
+	"testing"
+
+	"krcore/internal/dataset"
+	"krcore/internal/similarity"
+	"krcore/internal/simindex"
+)
+
+// presetCase is one (preset, k, r) test configuration. Geo presets use
+// a kilometre threshold; keyword presets resolve r from the top-3‰
+// calibration, as the paper does for DBLP and Pokec.
+type presetCase struct {
+	name string
+	k    int
+	r    float64
+}
+
+// presetCases picks moderate thresholds so the searches finish in test
+// time while still producing non-trivial candidate components.
+func presetCases(t *testing.T) []presetCase {
+	t.Helper()
+	cases := []presetCase{
+		{name: "brightkite", k: 4, r: 25},
+		{name: "gowalla", k: 4, r: 100},
+	}
+	for _, name := range []string{"dblp", "pokec"} {
+		d, err := dataset.Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, presetCase{name: name, k: 8, r: d.TopPermille(3)})
+	}
+	return cases
+}
+
+// oraclePair returns two fresh oracles over the same dataset and
+// threshold: one forced onto the serial reference engine, one left to
+// pick up its metric's index on first use.
+func oraclePair(d *dataset.Dataset, r float64) (serial, indexed *similarity.Oracle) {
+	serial = similarity.NewOracle(d.Metric(), r)
+	serial.SetBulk(simindex.NewSerial(serial))
+	indexed = similarity.NewOracle(d.Metric(), r)
+	return serial, indexed
+}
+
+func TestIndexedPrepareMatchesSerialOnPresets(t *testing.T) {
+	for _, tc := range presetCases(t) {
+		d, err := dataset.Load(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		so, io := oraclePair(d, tc.r)
+		ps := prepare(d.Graph, Params{K: tc.k, Oracle: so})
+		pi := prepare(d.Graph, Params{K: tc.k, Oracle: io})
+		if len(ps) != len(pi) {
+			t.Fatalf("%s: %d serial components vs %d indexed", tc.name, len(ps), len(pi))
+		}
+		for c := range ps {
+			a, b := ps[c], pi[c]
+			if a.n != b.n || a.pairs != b.pairs || a.maxDeg != b.maxDeg {
+				t.Fatalf("%s comp %d: header mismatch (%d,%d,%d) vs (%d,%d,%d)",
+					tc.name, c, a.n, a.pairs, a.maxDeg, b.n, b.pairs, b.maxDeg)
+			}
+			for i := range a.orig {
+				if a.orig[i] != b.orig[i] {
+					t.Fatalf("%s comp %d: orig differs at %d", tc.name, c, i)
+				}
+			}
+			for u := 0; u < a.n; u++ {
+				if !equalCores(a.adj[u], b.adj[u]) || !equalCores(a.dissim[u], b.dissim[u]) {
+					t.Fatalf("%s comp %d: adjacency/dissim differ at local %d", tc.name, c, u)
+				}
+			}
+		}
+	}
+}
+
+func TestIndexedSearchMatchesSerialOnPresets(t *testing.T) {
+	// A deterministic node cap keeps the slowest cells bounded; both
+	// paths build identical problems, so a capped search truncates at
+	// exactly the same tree node on both sides.
+	limits := Limits{MaxNodes: 300000}
+	for _, tc := range presetCases(t) {
+		d, err := dataset.Load(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		so, io := oraclePair(d, tc.r)
+
+		es, err := Enumerate(d.Graph, Params{K: tc.k, Oracle: so}, EnumOptions{Limits: limits})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ei, err := Enumerate(d.Graph, Params{K: tc.k, Oracle: io}, EnumOptions{Limits: limits})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if es.Nodes != ei.Nodes || es.TimedOut != ei.TimedOut {
+			t.Fatalf("%s: enumeration effort differs: %d/%v nodes vs %d/%v",
+				tc.name, es.Nodes, es.TimedOut, ei.Nodes, ei.TimedOut)
+		}
+		if !sameCoreSets(es.Cores, ei.Cores) {
+			t.Fatalf("%s: enumeration cores differ (%d vs %d)", tc.name, len(es.Cores), len(ei.Cores))
+		}
+
+		ms, err := FindMaximum(d.Graph, Params{K: tc.k, Oracle: so}, MaxOptions{Limits: limits})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mi, err := FindMaximum(d.Graph, Params{K: tc.k, Oracle: io}, MaxOptions{Limits: limits})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ms.Nodes != mi.Nodes || ms.TimedOut != mi.TimedOut || !sameCoreSets(ms.Cores, mi.Cores) {
+			t.Fatalf("%s: maximum search differs: %v (%d nodes) vs %v (%d nodes)",
+				tc.name, ms.Cores, ms.Nodes, mi.Cores, mi.Nodes)
+		}
+	}
+}
+
+func TestIndexedCliquePlusMatchesSerial(t *testing.T) {
+	d, err := dataset.Load("brightkite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, io := oraclePair(d, 25)
+	limits := Limits{MaxNodes: 300000}
+	cs, err := CliquePlus(d.Graph, Params{K: 4, Oracle: so}, limits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := CliquePlus(d.Graph, Params{K: 4, Oracle: io}, limits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Nodes != ci.Nodes || !sameCoreSets(cs.Cores, ci.Cores) {
+		t.Fatalf("Clique+ differs: %d cores/%d nodes vs %d cores/%d nodes",
+			len(cs.Cores), cs.Nodes, len(ci.Cores), ci.Nodes)
+	}
+}
+
+// TestIndexedSearchMatchesSerialRandom sweeps the randomized fixtures
+// for extra coverage beyond the presets (both attribute kinds, many
+// thresholds).
+func TestIndexedSearchMatchesSerialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 30; trial++ {
+		inst := randomInstance(rng, 40)
+		serial := similarity.NewOracle(inst.p.Oracle.Metric(), inst.p.Oracle.Threshold())
+		serial.SetBulk(simindex.NewSerial(serial))
+		es, err := Enumerate(inst.g, Params{K: inst.p.K, Oracle: serial}, EnumOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ei, err := Enumerate(inst.g, inst.p, EnumOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if es.Nodes != ei.Nodes || !sameCoreSets(es.Cores, ei.Cores) {
+			t.Fatalf("trial %d: serial and indexed enumerations differ", trial)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"krcore/internal/attr"
 	"krcore/internal/graph"
 	"krcore/internal/similarity"
+	"krcore/internal/simindex"
 )
 
 // benchInstance builds a mid-sized tangled component: three overlapping
@@ -55,6 +56,20 @@ func benchInstance() testInstance {
 
 func BenchmarkPrepare(b *testing.B) {
 	inst := benchInstance()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if probs := prepare(inst.g, inst.p); len(probs) == 0 {
+			b.Fatal("expected candidate components")
+		}
+	}
+}
+
+// BenchmarkPrepareSerial pins the oracle to the serial per-pair
+// reference engine, measuring the preprocessing the similarity indexes
+// replace (compare with BenchmarkPrepare).
+func BenchmarkPrepareSerial(b *testing.B) {
+	inst := benchInstance()
+	inst.p.Oracle.SetBulk(simindex.NewSerial(inst.p.Oracle))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if probs := prepare(inst.g, inst.p); len(probs) == 0 {

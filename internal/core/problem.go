@@ -6,6 +6,8 @@ import (
 	"krcore/internal/graph"
 	"krcore/internal/kcore"
 	"krcore/internal/simgraph"
+	"krcore/internal/similarity"
+	"krcore/internal/simindex"
 )
 
 // problem is one candidate component prepared by the initial stage of
@@ -25,8 +27,17 @@ type problem struct {
 // edges between dissimilar vertices, compute the k-core, split into
 // connected components and build the local problems. Components smaller
 // than k+1 vertices cannot host a (k,r)-core and are skipped.
+//
+// Both preprocessing stages run through the oracle's bulk similarity
+// engine (simindex): the edge filter is answered as one batched query
+// and the per-component dissimilarity lists come from the engine's bulk
+// similar-pair construction instead of O(n²) per-pair oracle calls.
+// The engine is bit-identical to the serial oracle path, so the
+// resulting problems — and every core derived from them — are
+// unchanged.
 func prepare(g *graph.Graph, p Params) []*problem {
-	filtered := g.FilterEdges(func(u, v int32) bool { return p.Oracle.Similar(u, v) })
+	src := simindex.For(p.Oracle)
+	filtered := g.FilterEdgesBatch(src.SimilarBatch)
 	kc := kcore.KCore(filtered, p.K)
 	if len(kc) == 0 {
 		return nil
@@ -37,16 +48,16 @@ func prepare(g *graph.Graph, p Params) []*problem {
 		if len(comp) < p.K+1 {
 			continue
 		}
-		probs = append(probs, buildProblem(filtered, p, comp))
+		probs = append(probs, buildProblem(filtered, src, p, comp))
 	}
 	return probs
 }
 
 // buildProblem constructs the local problem for one component of the
 // filtered k-core.
-func buildProblem(filtered *graph.Graph, p Params, comp []int32) *problem {
+func buildProblem(filtered *graph.Graph, src similarity.BulkSource, p Params, comp []int32) *problem {
 	sub, orig := filtered.Induced(comp)
-	d := simgraph.BuildDissim(p.Oracle, orig)
+	d := simgraph.BuildDissimBulk(src, orig)
 	pr := &problem{
 		k:      p.K,
 		n:      sub.N(),

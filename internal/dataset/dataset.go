@@ -56,6 +56,15 @@ type Config struct {
 	WordsPerVertex int // words per vertex
 	NoiseFrac      float64
 	MaxWeight      int // weighted datasets: maximum keyword weight
+
+	// Default similarity parameterisation for benchmarks and examples.
+	// Geo presets declare DefaultR, the kilometre threshold at which
+	// planted communities straddle the boundary (the regime of the
+	// quickstart example and the geosocial case study); keyword presets
+	// declare DefaultPermille, the Figure 12 top-permille calibration.
+	// Exactly one of the two is set per preset.
+	DefaultR        float64
+	DefaultPermille float64
 }
 
 // Dataset is a generated attributed graph.

@@ -38,6 +38,24 @@ func TestPresetsGenerate(t *testing.T) {
 	}
 }
 
+func TestPresetDefaults(t *testing.T) {
+	for _, name := range PresetNames() {
+		cfg, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		geo := cfg.Kind == attr.KindGeo
+		if geo && (cfg.DefaultR <= 0 || cfg.DefaultPermille != 0) {
+			t.Fatalf("%s: geo preset must declare DefaultR only, got r=%v p=%v",
+				name, cfg.DefaultR, cfg.DefaultPermille)
+		}
+		if !geo && (cfg.DefaultPermille <= 0 || cfg.DefaultR != 0) {
+			t.Fatalf("%s: keyword preset must declare DefaultPermille only, got r=%v p=%v",
+				name, cfg.DefaultR, cfg.DefaultPermille)
+		}
+	}
+}
+
 func TestGenerateDeterministic(t *testing.T) {
 	cfg, _ := Preset("brightkite")
 	a, err := Generate(cfg)

@@ -29,6 +29,7 @@ func Preset(name string) (Config, error) {
 			IntraProb: 0.72, OverlapSize: 4,
 			Kind: attr.KindGeo,
 			Area: 800, Cities: 7, CitySigma: 18, CommunitySigma: 4.5,
+			DefaultR: 10,
 		}, nil
 	case "gowalla":
 		return Config{
@@ -38,6 +39,7 @@ func Preset(name string) (Config, error) {
 			IntraProb: 0.72, OverlapSize: 5,
 			Kind: attr.KindGeo,
 			Area: 1000, Cities: 10, CitySigma: 22, CommunitySigma: 5,
+			DefaultR: 10,
 		}, nil
 	case "dblp":
 		return Config{
@@ -48,6 +50,7 @@ func Preset(name string) (Config, error) {
 			Kind:  attr.KindWeighted,
 			Vocab: 600, TopicWords: 15, WordsPerVertex: 12,
 			NoiseFrac: 0.22, MaxWeight: 8,
+			DefaultPermille: 3,
 		}, nil
 	case "pokec":
 		return Config{
@@ -58,6 +61,7 @@ func Preset(name string) (Config, error) {
 			Kind:  attr.KindWeighted,
 			Vocab: 500, TopicWords: 12, WordsPerVertex: 10,
 			NoiseFrac: 0.25, MaxWeight: 6,
+			DefaultPermille: 5,
 		}, nil
 	default:
 		return Config{}, fmt.Errorf("dataset: unknown preset %q (want brightkite, gowalla, dblp or pokec)", name)

@@ -171,6 +171,32 @@ func (g *Graph) FilterEdges(keep func(u, v int32) bool) *Graph {
 	return &Graph{adj: adj, m: m}
 }
 
+// FilterEdgesBatch returns the same graph as FilterEdges but gathers
+// every edge (u < v) first and evaluates them with a single batched
+// predicate call, so an indexed or parallel similarity engine can
+// answer all edges at once. keep[i] must report whether pairs[i]
+// survives.
+func (g *Graph) FilterEdgesBatch(eval func(pairs [][2]int32) []bool) *Graph {
+	pairs := make([][2]int32, 0, g.m)
+	g.Edges(func(u, v int32) { pairs = append(pairs, [2]int32{u, v}) })
+	keep := eval(pairs)
+	adj := make([][]int32, len(g.adj))
+	m := 0
+	for i, e := range pairs {
+		if !keep[i] {
+			continue
+		}
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+		m++
+	}
+	for u := range adj {
+		nb := adj[u]
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+	}
+	return &Graph{adj: adj, m: m}
+}
+
 // Induced returns the subgraph induced by vertices (global ids), with
 // local ids 0..len(vertices)-1 assigned in the given order, plus the
 // local-to-global mapping (a copy of vertices).

@@ -157,6 +157,41 @@ func TestFilterEdges(t *testing.T) {
 	}
 }
 
+func TestFilterEdgesBatchMatchesFilterEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(30)
+		b := NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.Build()
+		keep := func(u, v int32) bool { return (u+v)%3 != 0 }
+		want := g.FilterEdges(keep)
+		got := g.FilterEdgesBatch(func(pairs [][2]int32) []bool {
+			out := make([]bool, len(pairs))
+			for i, p := range pairs {
+				out[i] = keep(p[0], p[1])
+			}
+			return out
+		})
+		if got.N() != want.N() || got.M() != want.M() {
+			t.Fatalf("trial %d: N/M mismatch: %d/%d vs %d/%d", trial, got.N(), got.M(), want.N(), want.M())
+		}
+		for u := 0; u < n; u++ {
+			gn, wn := got.Neighbors(int32(u)), want.Neighbors(int32(u))
+			if len(gn) != len(wn) {
+				t.Fatalf("trial %d: degree mismatch at %d", trial, u)
+			}
+			for i := range wn {
+				if gn[i] != wn[i] {
+					t.Fatalf("trial %d: neighbours differ at %d", trial, u)
+				}
+			}
+		}
+	}
+}
+
 func TestDegreeWithin(t *testing.T) {
 	g := buildPath(5)
 	in := []bool{true, true, false, true, true}

@@ -63,6 +63,52 @@ func SimilarityGraph(o *similarity.Oracle, vertices []int32) *graph.Graph {
 	return graph.FromAdjacency(adj)
 }
 
+// BuildDissimBulk computes the same Dissim as BuildDissim through a
+// bulk similarity engine: the engine yields the similar adjacency of
+// the set in bulk (near-linear for the indexed metrics) and the
+// dissimilarity lists are its complement, written with trivial per-item
+// work instead of one metric evaluation per pair. The result is
+// bit-identical to BuildDissim for the engine's oracle.
+func BuildDissimBulk(src similarity.BulkSource, vertices []int32) *Dissim {
+	n := len(vertices)
+	sim := src.SimilarAdjacency(vertices)
+	d := &Dissim{Lists: make([][]int32, n)}
+	simEdges := 0
+	total := 0
+	for i := 0; i < n; i++ {
+		simEdges += len(sim[i])
+		total += n - 1 - len(sim[i])
+	}
+	d.Pairs = n*(n-1)/2 - simEdges/2
+	backing := make([]int32, total)
+	mark := make([]bool, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		for _, j := range sim[i] {
+			mark[j] = true
+		}
+		list := backing[off:off]
+		for j := 0; j < n; j++ {
+			if j != i && !mark[j] {
+				list = append(list, int32(j))
+			}
+		}
+		off += len(list)
+		d.Lists[i] = list
+		for _, j := range sim[i] {
+			mark[j] = false
+		}
+	}
+	return d
+}
+
+// SimilarityGraphBulk materialises the explicit similarity graph
+// through a bulk similarity engine; identical to SimilarityGraph for
+// the engine's oracle.
+func SimilarityGraphBulk(src similarity.BulkSource, vertices []int32) *graph.Graph {
+	return graph.FromAdjacency(src.SimilarAdjacency(vertices))
+}
+
 // Complement returns the similarity graph implied by d (the complement of
 // the dissimilarity lists on n local vertices). Useful for tests and for
 // the baseline upper bounds on small candidate sets.

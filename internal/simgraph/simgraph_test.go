@@ -7,6 +7,7 @@ import (
 
 	"krcore/internal/attr"
 	"krcore/internal/similarity"
+	"krcore/internal/simindex"
 )
 
 func geoOracle(pts []attr.Point, r float64) *similarity.Oracle {
@@ -74,6 +75,52 @@ func TestSimilarityGraphAndComplementAgree(t *testing.T) {
 		// Pair accounting: similar + dissimilar = all pairs.
 		if sg.M()+d.Pairs != n*(n-1)/2 {
 			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkBuildersMatchSerial(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		pts := make([]attr.Point, n)
+		for i := range pts {
+			pts[i] = attr.Point{X: rng.Float64() * 50, Y: rng.Float64() * 50}
+		}
+		o := geoOracle(pts, 5+rng.Float64()*20)
+		vs := make([]int32, n)
+		for i := range vs {
+			vs[i] = int32(i)
+		}
+		src := simindex.NewSerial(o)
+		d, db := BuildDissim(o, vs), BuildDissimBulk(src, vs)
+		if d.Pairs != db.Pairs || len(d.Lists) != len(db.Lists) {
+			return false
+		}
+		for i := range d.Lists {
+			if len(d.Lists[i]) != len(db.Lists[i]) {
+				return false
+			}
+			for k := range d.Lists[i] {
+				if d.Lists[i][k] != db.Lists[i][k] {
+					return false
+				}
+			}
+		}
+		sg, sgb := SimilarityGraph(o, vs), SimilarityGraphBulk(src, vs)
+		if sg.N() != sgb.N() || sg.M() != sgb.M() {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if sg.HasEdge(int32(u), int32(v)) != sgb.HasEdge(int32(u), int32(v)) {
+					return false
+				}
+			}
 		}
 		return true
 	}

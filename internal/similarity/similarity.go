@@ -13,6 +13,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"krcore/internal/attr"
 )
@@ -70,6 +71,29 @@ func (m Euclidean) Distance() bool { return true }
 // Name implements Metric.
 func (m Euclidean) Name() string { return "euclidean" }
 
+// BulkSource computes thresholded similarity structure for whole vertex
+// sets at once instead of one Oracle.Similar call per pair. Concrete
+// implementations (spatial grid, inverted keyword index, parallel
+// brute force) live in package simindex; this interface sits here so an
+// Oracle can carry one as an optional capability without an import
+// cycle.
+//
+// Every implementation must agree exactly with Oracle.Similar on
+// distinct vertices: bulk and per-pair preprocessing yield bit-identical
+// similarity graphs, dissimilarity lists and, downstream, (k,r)-cores.
+type BulkSource interface {
+	// SimilarAdjacency returns the local adjacency lists of the
+	// similarity graph on the given distinct global vertices: out[i]
+	// lists, sorted ascending, the local ids j != i for which
+	// vertices[i] and vertices[j] are similar.
+	SimilarAdjacency(vertices []int32) [][]int32
+	// SimilarBatch evaluates many pairs at once: out[i] reports whether
+	// pairs[i] is a similar pair (a pair of equal ids is similar, as in
+	// Oracle.Similar). Implementations may shard the work across
+	// goroutines; the output is positional, hence deterministic.
+	SimilarBatch(pairs [][2]int32) []bool
+}
+
 // Oracle answers thresholded pairwise similarity queries: Similar(u,v)
 // is sim(u,v) >= r for similarity metrics and dist(u,v) <= r for
 // distance metrics.
@@ -79,6 +103,9 @@ type Oracle struct {
 	// geo fast path: avoids the sqrt per query.
 	geo *attr.Geo
 	r2  float64
+
+	mu   sync.Mutex
+	bulk BulkSource
 }
 
 // NewOracle builds an Oracle for metric at threshold r.
@@ -93,6 +120,26 @@ func NewOracle(metric Metric, r float64) *Oracle {
 
 // Metric returns the underlying metric.
 func (o *Oracle) Metric() Metric { return o.metric }
+
+// Bulk returns the bulk similarity engine attached to the oracle, or
+// nil when none has been attached yet. simindex.For attaches the best
+// index for the metric on first use; callers wanting to amortise index
+// construction across many (k,r) searches attach one up front via the
+// public krcore.BuildIndex.
+func (o *Oracle) Bulk() BulkSource {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.bulk
+}
+
+// SetBulk attaches a bulk similarity engine. The engine must agree
+// exactly with Similar; attach after the attribute store is final, as
+// indexes snapshot per-vertex statistics at construction time.
+func (o *Oracle) SetBulk(b BulkSource) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.bulk = b
+}
 
 // Threshold returns the similarity threshold r.
 func (o *Oracle) Threshold() float64 { return o.r }
@@ -138,18 +185,30 @@ func TopPermille(metric Metric, n int, p float64, sample int, seed int64) float6
 		sample = 100000
 	}
 	maxPairs := n * (n - 1) / 2
-	if sample > maxPairs {
-		sample = maxPairs
-	}
-	rng := rand.New(rand.NewSource(seed))
-	scores := make([]float64, 0, sample)
-	for len(scores) < sample {
-		u := int32(rng.Intn(n))
-		v := int32(rng.Intn(n))
-		if u == v {
-			continue
+	var scores []float64
+	if sample >= maxPairs {
+		// The sample covers every distinct pair: enumerate them exactly
+		// once instead of sampling with replacement. Besides giving the
+		// exact quantile, this guards tiny graphs against pathological
+		// sampling (drawing nearly all distinct pairs with replacement
+		// revisits pairs indefinitely and skews the distribution).
+		scores = make([]float64, 0, maxPairs)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				scores = append(scores, metric.Score(int32(u), int32(v)))
+			}
 		}
-		scores = append(scores, metric.Score(u, v))
+	} else {
+		rng := rand.New(rand.NewSource(seed))
+		scores = make([]float64, 0, sample)
+		for len(scores) < sample {
+			u := int32(rng.Intn(n))
+			v := int32(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			scores = append(scores, metric.Score(u, v))
+		}
 	}
 	// Sort decreasing; the threshold is the value at rank p/1000 * len.
 	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))

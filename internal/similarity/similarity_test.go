@@ -107,6 +107,38 @@ func TestTopPermilleEdgeCases(t *testing.T) {
 	_ = TopPermille(Euclidean{Store: attr.NewGeo(3)}, 3, 3, 10, 1)
 }
 
+// TestTopPermilleTinyGraphExact: when the requested sample covers every
+// distinct pair, the threshold must come from exact pair enumeration —
+// the regression guard against pathological with-replacement sampling
+// on tiny graphs (near-complete samples revisit pairs indefinitely and
+// skew the quantile).
+func TestTopPermilleTinyGraphExact(t *testing.T) {
+	// Two vertices: a single distinct pair, so every permille level must
+	// return exactly that pair's score whatever the sample size.
+	s := attr.NewKeywords(2)
+	s.SetVertex(0, []int32{1, 2})
+	s.SetVertex(1, []int32{2, 3})
+	m := Jaccard{Store: s}
+	want := m.Score(0, 1)
+	for _, p := range []float64{1, 500, 1000} {
+		if got := TopPermille(m, 2, p, 1<<30, 99); got != want {
+			t.Fatalf("TopPermille(n=2, p=%v) = %v, want the single pair score %v", p, got, want)
+		}
+	}
+	// Three vertices with three distinct scores: exact quantiles, and
+	// independent of the sampling seed.
+	fx := keywordFixture()
+	mf := Jaccard{Store: fx}
+	if a, b := TopPermille(mf, 3, 400, 100, 1), TopPermille(mf, 3, 400, 100, 2); a != b {
+		t.Fatalf("exact path must not depend on the seed: %v vs %v", a, b)
+	}
+	// p=1000 selects the smallest sampled score; here the 0 of the
+	// disjoint pairs.
+	if got := TopPermille(mf, 3, 1000, 100, 1); got != 0 {
+		t.Fatalf("bottom quantile = %v, want 0", got)
+	}
+}
+
 func TestTopPermilleDeterministic(t *testing.T) {
 	s := keywordFixture()
 	m := Jaccard{Store: s}

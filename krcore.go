@@ -36,6 +36,7 @@ import (
 	"krcore/internal/graph"
 	"krcore/internal/kcore"
 	"krcore/internal/similarity"
+	"krcore/internal/simindex"
 )
 
 // Graph is an immutable undirected simple graph with vertices 0..N-1.
@@ -224,3 +225,23 @@ func TopPermilleThreshold(m Metric, n int, p float64) float64 {
 
 // NewOracle builds an oracle from any custom metric at threshold r.
 func NewOracle(m Metric, r float64) *Oracle { return similarity.NewOracle(m, r) }
+
+// BulkSimilarity is a bulk similar-pair engine: it materialises the
+// thresholded similarity structure of a whole vertex set at once and
+// is guaranteed bit-identical to per-pair Oracle.Similar calls. Every
+// search builds one on demand; BuildIndex pre-builds it.
+type BulkSimilarity = similarity.BulkSource
+
+// BuildIndex pre-builds the bulk similarity index for the oracle and
+// attaches it, so that repeated (k,r) searches against the same oracle
+// — the serving-layer pattern of answering many (k, r) queries over one
+// attributed graph — skip index construction. The index chosen depends
+// on the metric: a uniform spatial grid for Euclidean distance, an
+// inverted keyword index with prefix-filter bounds for Jaccard and
+// weighted Jaccard, and a parallel brute-force engine for custom
+// metrics. Build the index after the attribute store is final; it
+// snapshots per-vertex statistics.
+//
+// The returned engine can also be used directly for bulk similar-pair
+// queries outside a search.
+func BuildIndex(o *Oracle) BulkSimilarity { return simindex.For(o) }

@@ -118,6 +118,38 @@ func TestWeightedFacadeAndThreshold(t *testing.T) {
 	}
 }
 
+// TestBuildIndexFacade exercises the serving-layer pattern: pre-build
+// the similarity index once, reuse it across many (k,r) searches, and
+// query it directly for bulk similar pairs.
+func TestBuildIndexFacade(t *testing.T) {
+	g, kw := buildTwoGroups()
+	o := kw.JaccardAtLeast(0.5)
+	idx := BuildIndex(o)
+	if idx == nil {
+		t.Fatal("BuildIndex returned nil")
+	}
+	if BuildIndex(o) != idx {
+		t.Fatal("BuildIndex must reuse the attached index")
+	}
+	// Direct bulk query: inside group one everything is similar, across
+	// groups nothing is.
+	adj := idx.SimilarAdjacency([]int32{0, 1, 5})
+	if len(adj[0]) != 1 || adj[0][0] != 1 || len(adj[2]) != 0 {
+		t.Fatalf("bulk adjacency wrong: %v", adj)
+	}
+	// Searches with the pre-built index return the usual cores at
+	// several k against the same oracle.
+	for _, k := range []int{2, 3} {
+		res, err := EnumerateMaximal(g, Params{K: k, Oracle: o}, EnumOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Cores) != 2 {
+			t.Fatalf("k=%d: got %d cores, want 2", k, len(res.Cores))
+		}
+	}
+}
+
 func TestFacadeLimits(t *testing.T) {
 	g, kw := buildTwoGroups()
 	res, err := EnumerateMaximal(g, Params{K: 2, Oracle: kw.JaccardAtLeast(0.5)},
