@@ -36,6 +36,8 @@ func main() {
 		permille = flag.Float64("permille", 0, "derive r from the top-permille of pairwise similarity")
 		algo     = flag.String("algo", "enum", "algorithm: enum, max or clique")
 		budget   = flag.Duration("budget", time.Minute, "time budget (0 = unlimited)")
+		maxNodes = flag.Int64("max-nodes", 0, "global search-node budget shared by all workers (0 = unlimited)")
+		parallel = flag.Int("parallel", 1, "worker goroutines searching candidate components")
 		show     = flag.Int("show", 0, "print the first N result cores")
 	)
 	flag.Parse()
@@ -50,7 +52,7 @@ func main() {
 		fmt.Printf("top %g permille -> r = %.4f\n", *permille, thr)
 	}
 	params := core.Params{K: *k, Oracle: d.Oracle(thr)}
-	var limits core.Limits
+	limits := core.Limits{MaxNodes: *maxNodes}
 	if *budget > 0 {
 		limits.Deadline = time.Now().Add(*budget)
 	}
@@ -58,11 +60,11 @@ func main() {
 	var res *core.Result
 	switch *algo {
 	case "enum":
-		res, err = core.Enumerate(d.Graph, params, core.EnumOptions{Limits: limits})
+		res, err = core.Enumerate(d.Graph, params, core.EnumOptions{Limits: limits, Parallelism: *parallel})
 	case "max":
-		res, err = core.FindMaximum(d.Graph, params, core.MaxOptions{Limits: limits})
+		res, err = core.FindMaximum(d.Graph, params, core.MaxOptions{Limits: limits, Parallelism: *parallel})
 	case "clique":
-		res, err = core.CliquePlus(d.Graph, params, limits)
+		res, err = core.CliquePlus(d.Graph, params, core.CliqueOptions{Limits: limits, Parallelism: *parallel})
 	default:
 		log.Fatalf("unknown -algo %q (want enum, max or clique)", *algo)
 	}

@@ -1,0 +1,206 @@
+package krcore
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"krcore/internal/core"
+	"krcore/internal/graph"
+)
+
+// Engine is the build-once/serve-many layer for answering many (k,r)
+// queries over one attributed graph — the serving pattern behind the
+// paper's evaluation, which sweeps k and r over the same networks, and
+// the natural shape of a community-search service.
+//
+// The engine caches every level of shared state a (k,r) query needs:
+//
+//   - per threshold r: the similarity oracle, its bulk similarity
+//     index (see BuildIndex) and the dissimilar-edge-filtered graph,
+//     which depend on r but not on k;
+//   - per pair (k,r): the prepared candidate components (the filtered
+//     graph's k-core split into connected components with their
+//     dissimilarity lists), reused by every query at that setting.
+//
+// All methods are safe for concurrent use. Concurrent queries for the
+// same uncached (k,r) prepare it exactly once (the others wait);
+// queries for a cached (k,r) run immediately with zero re-preparation
+// and proceed fully in parallel, each with its own search state and
+// budget. Cancellation and node/time limits apply per query through
+// Limits; parallelism within one query through the options'
+// Parallelism field.
+type Engine struct {
+	g      *Graph
+	metric Metric
+
+	mu   sync.Mutex
+	byR  map[float64]*rEntry
+	byKR map[krKey]*krEntry
+	hits atomic.Int64
+	miss atomic.Int64
+}
+
+type krKey struct {
+	k int
+	r float64
+}
+
+// rEntry is the r-dependent, k-independent shared state.
+type rEntry struct {
+	once     sync.Once
+	oracle   *Oracle
+	filtered *graph.Graph
+}
+
+// krEntry is the prepared problem of one (k,r) setting.
+type krEntry struct {
+	once sync.Once
+	pr   *core.Prepared
+	err  error
+}
+
+// NewEngine returns a serving engine for the graph and similarity
+// metric. The metric's attribute store must be final: per-r indexes
+// snapshot it when a threshold is first queried.
+func NewEngine(g *Graph, m Metric) *Engine {
+	return &Engine{
+		g:      g,
+		metric: m,
+		byR:    map[float64]*rEntry{},
+		byKR:   map[krKey]*krEntry{},
+	}
+}
+
+// EngineStats reports the engine's cache behaviour.
+type EngineStats struct {
+	// Hits counts queries that found their (k,r) setting already
+	// prepared (or being prepared by a concurrent query).
+	Hits int64
+	// Misses counts queries that had to prepare their (k,r) setting.
+	Misses int64
+	// Thresholds is the number of distinct r values with a cached
+	// oracle, similarity index and filtered graph.
+	Thresholds int
+	// Prepared is the number of distinct (k,r) settings with cached
+	// candidate components.
+	Prepared int
+}
+
+// Stats returns a snapshot of the engine's cache counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return EngineStats{
+		Hits:       e.hits.Load(),
+		Misses:     e.miss.Load(),
+		Thresholds: len(e.byR),
+		Prepared:   len(e.byKR),
+	}
+}
+
+// Oracle returns the engine's cached similarity oracle for threshold r
+// (with its bulk index attached), building it on first use.
+func (e *Engine) Oracle(r float64) (*Oracle, error) {
+	if e.metric == nil {
+		return nil, errors.New("krcore: engine has no similarity metric")
+	}
+	if math.IsNaN(r) {
+		return nil, errors.New("krcore: similarity threshold r must not be NaN")
+	}
+	return e.forR(r).oracle, nil
+}
+
+// Warm prepares the (k,r) setting ahead of traffic, so the first real
+// query at that setting is a cache hit.
+func (e *Engine) Warm(k int, r float64) error {
+	_, err := e.prepared(k, r)
+	return err
+}
+
+// Enumerate returns all maximal (k,r)-cores at the given setting (see
+// EnumerateMaximal). Result.Elapsed covers the search only; on a cache
+// hit no preparation happens at all.
+func (e *Engine) Enumerate(k int, r float64, opt EnumOptions) (*Result, error) {
+	pr, err := e.prepared(k, r)
+	if err != nil {
+		return nil, err
+	}
+	return pr.Enumerate(opt)
+}
+
+// EnumerateContaining returns the maximal (k,r)-cores containing the
+// query vertex v at the given setting — the community-search flavour.
+func (e *Engine) EnumerateContaining(k int, r float64, v int32, opt EnumOptions) (*Result, error) {
+	pr, err := e.prepared(k, r)
+	if err != nil {
+		return nil, err
+	}
+	return pr.EnumerateContaining(v, opt)
+}
+
+// FindMaximum returns the maximum (k,r)-core at the given setting (see
+// the package-level FindMaximum).
+func (e *Engine) FindMaximum(k int, r float64, opt MaxOptions) (*Result, error) {
+	pr, err := e.prepared(k, r)
+	if err != nil {
+		return nil, err
+	}
+	return pr.FindMaximum(opt)
+}
+
+// prepared returns the cached candidate components for (k,r), building
+// them exactly once. The engine mutex is held only for the map lookup;
+// construction runs under the entry's sync.Once so concurrent queries
+// for other settings are not blocked.
+func (e *Engine) prepared(k int, r float64) (*core.Prepared, error) {
+	if e.metric == nil {
+		return nil, errors.New("krcore: engine has no similarity metric")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("krcore: k must be >= 1, got %d", k)
+	}
+	if math.IsNaN(r) {
+		// NaN never equals itself, so it would miss (and grow) the
+		// float64-keyed caches on every query.
+		return nil, errors.New("krcore: similarity threshold r must not be NaN")
+	}
+	key := krKey{k: k, r: r}
+	e.mu.Lock()
+	ent, ok := e.byKR[key]
+	if !ok {
+		ent = &krEntry{}
+		e.byKR[key] = ent
+	}
+	e.mu.Unlock()
+	if ok {
+		e.hits.Add(1)
+	} else {
+		e.miss.Add(1)
+	}
+	ent.once.Do(func() {
+		re := e.forR(r)
+		ent.pr, ent.err = core.PrepareFiltered(re.filtered, core.Params{K: k, Oracle: re.oracle})
+	})
+	return ent.pr, ent.err
+}
+
+// forR returns the r-dependent shared state (oracle, index, filtered
+// graph), building it exactly once per threshold.
+func (e *Engine) forR(r float64) *rEntry {
+	e.mu.Lock()
+	ent, ok := e.byR[r]
+	if !ok {
+		ent = &rEntry{}
+		e.byR[r] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		ent.oracle = NewOracle(e.metric, r)
+		BuildIndex(ent.oracle)
+		ent.filtered = core.FilterDissimilar(e.g, ent.oracle)
+	})
+	return ent
+}

@@ -1,0 +1,280 @@
+package krcore
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// buildServingInstance builds a deterministic random social graph with
+// clustered geo attributes, large enough that (k,r) queries do real
+// work but small enough for exhaustive cross-checking.
+func buildServingInstance() (*Graph, *GeoAttributes) {
+	const n = 160
+	rng := rand.New(rand.NewSource(2017))
+	b := NewGraphBuilder(n)
+	for i := 0; i < 5*n; i++ {
+		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	g := b.Build()
+	geo := NewGeoAttributes(n)
+	centers := [][2]float64{{0, 0}, {12, 0}, {6, 10}, {40, 40}}
+	for u := 0; u < n; u++ {
+		c := centers[rng.Intn(len(centers))]
+		geo.Set(int32(u), c[0]+rng.NormFloat64()*2.5, c[1]+rng.NormFloat64()*2.5)
+	}
+	return g, geo
+}
+
+// servingGrid is the (k,r) parameter grid the serving tests sweep,
+// mirroring the paper's figure sweeps over one graph.
+var servingGrid = []struct {
+	k int
+	r float64
+}{
+	{2, 4}, {2, 8}, {3, 4}, {3, 8}, {3, 15}, {4, 8}, {5, 15},
+}
+
+func TestEngineMatchesFreshRuns(t *testing.T) {
+	g, geo := buildServingInstance()
+	eng := NewEngine(g, geo.Metric())
+	for _, cell := range servingGrid {
+		fresh, err := EnumerateMaximal(g, Params{K: cell.k, Oracle: geo.WithinDistance(cell.r)}, EnumOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.Enumerate(cell.k, cell.r, EnumOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got.Cores) != fmt.Sprint(fresh.Cores) {
+			t.Fatalf("(k=%d, r=%g): engine %v != fresh %v", cell.k, cell.r, got.Cores, fresh.Cores)
+		}
+		freshMax, err := FindMaximum(g, Params{K: cell.k, Oracle: geo.WithinDistance(cell.r)}, MaxOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotMax, err := eng.FindMaximum(cell.k, cell.r, MaxOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(gotMax.Cores) != fmt.Sprint(freshMax.Cores) {
+			t.Fatalf("(k=%d, r=%g): engine max %v != fresh %v", cell.k, cell.r, gotMax.Cores, freshMax.Cores)
+		}
+	}
+}
+
+// TestEngineCacheHits verifies the zero-re-preparation guarantee: a
+// repeated (k,r) query is a cache hit and creates no new prepared
+// state.
+func TestEngineCacheHits(t *testing.T) {
+	g, geo := buildServingInstance()
+	eng := NewEngine(g, geo.Metric())
+	if _, err := eng.Enumerate(3, 8, EnumOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Misses != 1 || st.Hits != 0 || st.Prepared != 1 || st.Thresholds != 1 {
+		t.Fatalf("after first query: %+v", st)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := eng.Enumerate(3, 8, EnumOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = eng.Stats()
+	if st.Hits != 3 || st.Misses != 1 || st.Prepared != 1 {
+		t.Fatalf("repeated (k,r) query re-prepared: %+v", st)
+	}
+	// A different k at the same r reuses the filtered graph (one
+	// threshold entry) but prepares its own components.
+	if _, err := eng.FindMaximum(4, 8, MaxOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	st = eng.Stats()
+	if st.Thresholds != 1 || st.Prepared != 2 || st.Misses != 2 {
+		t.Fatalf("after second k at same r: %+v", st)
+	}
+	// Warm makes the first real query at a new setting a hit.
+	if err := eng.Warm(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Stats()
+	if _, err := eng.FindMaximum(2, 4, MaxOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	after := eng.Stats()
+	if after.Hits != before.Hits+1 || after.Prepared != before.Prepared {
+		t.Fatalf("warmed query was not a pure hit: before %+v, after %+v", before, after)
+	}
+}
+
+// TestEngineConcurrentStress fires concurrent mixed (k,r) queries —
+// enumeration, community search and maximum, serial and parallel — at
+// one engine and verifies every answer against fresh single-threaded
+// runs. Run under -race this doubles as the data-race check on the
+// shared caches, budgets and incumbents.
+func TestEngineConcurrentStress(t *testing.T) {
+	g, geo := buildServingInstance()
+
+	type expected struct {
+		enum *Result
+		max  *Result
+	}
+	want := make([]expected, len(servingGrid))
+	for i, cell := range servingGrid {
+		enum, err := EnumerateMaximal(g, Params{K: cell.k, Oracle: geo.WithinDistance(cell.r)}, EnumOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		max, err := FindMaximum(g, Params{K: cell.k, Oracle: geo.WithinDistance(cell.r)}, MaxOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = expected{enum: enum, max: max}
+	}
+
+	eng := NewEngine(g, geo.Metric())
+	const goroutines = 16
+	const queriesPerG = 30
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for wid := 0; wid < goroutines; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + wid)))
+			for q := 0; q < queriesPerG; q++ {
+				ci := rng.Intn(len(servingGrid))
+				cell, exp := servingGrid[ci], want[ci]
+				par := []int{0, 2, 4}[rng.Intn(3)]
+				switch rng.Intn(3) {
+				case 0:
+					res, err := eng.Enumerate(cell.k, cell.r, EnumOptions{Parallelism: par})
+					if err != nil {
+						errc <- err
+						return
+					}
+					if fmt.Sprint(res.Cores) != fmt.Sprint(exp.enum.Cores) {
+						errc <- fmt.Errorf("worker %d (k=%d, r=%g): enum %v != fresh %v",
+							wid, cell.k, cell.r, res.Cores, exp.enum.Cores)
+						return
+					}
+				case 1:
+					res, err := eng.FindMaximum(cell.k, cell.r, MaxOptions{Parallelism: par})
+					if err != nil {
+						errc <- err
+						return
+					}
+					if fmt.Sprint(res.Cores) != fmt.Sprint(exp.max.Cores) {
+						errc <- fmt.Errorf("worker %d (k=%d, r=%g): max %v != fresh %v",
+							wid, cell.k, cell.r, res.Cores, exp.max.Cores)
+						return
+					}
+				default:
+					v := int32(rng.Intn(g.N()))
+					res, err := eng.EnumerateContaining(cell.k, cell.r, v, EnumOptions{Parallelism: par})
+					if err != nil {
+						errc <- err
+						return
+					}
+					// The answer must be exactly the v-containing subset of
+					// the full enumeration.
+					var subset [][]int32
+					for _, c := range exp.enum.Cores {
+						for _, u := range c {
+							if u == v {
+								subset = append(subset, c)
+								break
+							}
+						}
+					}
+					if fmt.Sprint(res.Cores) != fmt.Sprint(subset) {
+						errc <- fmt.Errorf("worker %d (k=%d, r=%g, v=%d): containing %v != subset %v",
+							wid, cell.k, cell.r, v, res.Cores, subset)
+						return
+					}
+				}
+			}
+			errc <- nil
+		}(wid)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats()
+	if st.Prepared != len(servingGrid) {
+		t.Fatalf("prepared %d settings, want %d (each exactly once): %+v", st.Prepared, len(servingGrid), st)
+	}
+	if st.Hits+st.Misses != goroutines*queriesPerG {
+		t.Fatalf("hit+miss = %d, want %d: %+v", st.Hits+st.Misses, goroutines*queriesPerG, st)
+	}
+}
+
+func TestEngineCancellationAndLimits(t *testing.T) {
+	g, geo := buildServingInstance()
+	eng := NewEngine(g, geo.Metric())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := eng.Enumerate(3, 8, EnumOptions{Limits: Limits{Context: ctx}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut || res.Nodes != 0 {
+		t.Fatalf("cancelled engine query ran anyway: %+v", res)
+	}
+	// The cancelled query still prepared (and cached) its setting, so a
+	// live retry is a hit.
+	live, err := eng.Enumerate(3, 8, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.TimedOut {
+		t.Fatal("unlimited retry timed out")
+	}
+	capped, err := eng.Enumerate(3, 8, EnumOptions{Limits: Limits{MaxNodes: 1}, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Nodes > 1 {
+		t.Fatalf("engine query exceeded MaxNodes: %d nodes", capped.Nodes)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	g, geo := buildServingInstance()
+	eng := NewEngine(g, geo.Metric())
+	if _, err := eng.Enumerate(0, 8, EnumOptions{}); err == nil {
+		t.Fatal("k=0 must be rejected")
+	}
+	if _, err := eng.EnumerateContaining(2, 8, int32(g.N()), EnumOptions{}); err == nil {
+		t.Fatal("out-of-range query vertex must be rejected")
+	}
+	broken := NewEngine(g, nil)
+	if _, err := broken.Enumerate(2, 8, EnumOptions{}); err == nil {
+		t.Fatal("nil metric must be rejected")
+	}
+	if _, err := broken.Oracle(8); err == nil {
+		t.Fatal("Oracle with nil metric must be rejected")
+	}
+	// NaN never equals itself, so it would defeat the float64-keyed
+	// caches; the engine must refuse it instead of leaking entries.
+	before := eng.Stats()
+	if _, err := eng.Enumerate(2, math.NaN(), EnumOptions{}); err == nil {
+		t.Fatal("NaN threshold must be rejected")
+	}
+	if _, err := eng.Oracle(math.NaN()); err == nil {
+		t.Fatal("NaN threshold must be rejected by Oracle")
+	}
+	after := eng.Stats()
+	if after.Thresholds != before.Thresholds || after.Prepared != before.Prepared {
+		t.Fatalf("rejected NaN queries must not populate the caches: before %+v, after %+v", before, after)
+	}
+}

@@ -1,0 +1,66 @@
+package krcore_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"krcore"
+)
+
+// ExampleEngine shows the build-once/serve-many pattern: one Engine
+// holds the graph and similarity metric, caches the filtered graph per
+// threshold r and the prepared candidate components per (k,r), and
+// serves concurrent queries without rebuilding shared state.
+func ExampleEngine() {
+	// Two dense friend groups bridged by one edge.
+	b := krcore.NewGraphBuilder(9)
+	groups := [][]int32{{0, 1, 2, 3, 4}, {5, 6, 7, 8}}
+	for _, g := range groups {
+		for i := 0; i < len(g); i++ {
+			for j := i + 1; j < len(g); j++ {
+				b.AddEdge(g[i], g[j])
+			}
+		}
+	}
+	b.AddEdge(4, 5)
+	g := b.Build()
+
+	geo := krcore.NewGeoAttributes(9)
+	for _, v := range groups[0] {
+		geo.Set(v, 0, float64(v)) // downtown
+	}
+	for _, v := range groups[1] {
+		geo.Set(v, 100, float64(v)) // the suburbs
+	}
+
+	eng := krcore.NewEngine(g, geo.Metric())
+
+	// The first query at (k=2, r=10) prepares and caches that setting...
+	res, _ := eng.Enumerate(2, 10, krcore.EnumOptions{})
+	fmt.Println("communities:", len(res.Cores))
+
+	// ...so sweeping other parameters over the same graph, or repeating
+	// a query, reuses the cached state (see Engine.Stats).
+	maxRes, _ := eng.FindMaximum(2, 10, krcore.MaxOptions{
+		Parallelism: 4, // search candidate components concurrently
+	})
+	fmt.Println("maximum community size:", len(maxRes.Cores[0]))
+
+	// Queries accept per-call limits and context cancellation; limits
+	// are global across a query's workers.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	capped, _ := eng.Enumerate(2, 10, krcore.EnumOptions{
+		Limits: krcore.Limits{Context: ctx, MaxNodes: 100000},
+	})
+	fmt.Println("within budget:", !capped.TimedOut)
+
+	st := eng.Stats()
+	fmt.Printf("cache: %d settings prepared, %d hits\n", st.Prepared, st.Hits)
+	// Output:
+	// communities: 2
+	// maximum community size: 5
+	// within budget: true
+	// cache: 1 settings prepared, 2 hits
+}

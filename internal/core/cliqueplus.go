@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"krcore/internal/clique"
@@ -9,46 +10,61 @@ import (
 	"krcore/internal/simindex"
 )
 
+// CliqueOptions configures the CliquePlus baseline.
+type CliqueOptions struct {
+	// Parallelism, when above 1, processes candidate components on that
+	// many goroutines, sharing one global budget.
+	Parallelism int
+	// Limits bounds the clique enumeration (shared across workers).
+	Limits Limits
+}
+
 // CliquePlus is the improved clique-based baseline of Section 3: compute
 // the k-core of the dissimilar-edge-filtered graph, materialise the
 // similarity graph of each connected component, enumerate its maximal
 // cliques, and compute the k-core of the structural subgraph induced by
 // each maximal clique. Connected survivors are (k,r)-cores; a final
 // maximal filter removes contained results.
-func CliquePlus(g *graph.Graph, p Params, limits Limits) (*Result, error) {
+func CliquePlus(g *graph.Graph, p Params, opt CliqueOptions) (*Result, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	bud := &budget{limits: limits}
+	bud := newBudget(opt.Limits)
 	var all [][]int32
-	for _, prob := range prepare(g, p) {
-		// The similarity graph of the component, on local ids, built in
-		// bulk through the oracle's similarity index.
-		simG := simgraph.SimilarityGraphBulk(simindex.For(p.Oracle), prob.orig)
-		clique.MaximalCliques(simG, func(q []int32) bool {
-			if !bud.step() {
-				return false
-			}
-			if len(q) < p.K+1 {
-				return true
-			}
-			for _, r := range kcoreComponents(prob, q) {
-				if len(r) >= p.K+1 {
-					all = append(all, prob.toGlobal(r))
+	if bud.precheck() {
+		probs := prepare(g, p)
+		var mu sync.Mutex
+		searchOne := func(prob *problem) {
+			// The similarity graph of the component, on local ids, built
+			// in bulk through the oracle's similarity index.
+			simG := simgraph.SimilarityGraphBulk(simindex.For(p.Oracle), prob.orig)
+			clique.MaximalCliques(simG, func(q []int32) bool {
+				if !bud.step() {
+					return false
 				}
-			}
-			return true
-		})
-		if bud.timedOut {
-			break
+				if len(q) < p.K+1 {
+					return true
+				}
+				for _, r := range kcoreComponents(prob, q) {
+					if len(r) >= p.K+1 {
+						mu.Lock()
+						all = append(all, prob.toGlobal(r))
+						mu.Unlock()
+					}
+				}
+				return true
+			})
 		}
+		runPool(len(probs), opt.Parallelism, bud, func(i int) {
+			searchOne(probs[i])
+		})
 	}
 	all = filterMaximal(all)
 	return &Result{
 		Cores:    all,
-		Nodes:    bud.nodes,
-		TimedOut: bud.timedOut,
+		Nodes:    bud.count(),
+		TimedOut: bud.exhausted(),
 		Elapsed:  time.Since(start),
 	}, nil
 }

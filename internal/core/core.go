@@ -19,8 +19,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"krcore/internal/similarity"
@@ -162,13 +165,23 @@ func (b Branch) String() string {
 	}
 }
 
-// Limits bounds a search. The zero value means unlimited.
+// Limits bounds a search. The zero value means unlimited. All limits
+// are global: with Parallelism above 1 the workers draw search nodes
+// from one shared budget, so MaxNodes caps the total across workers and
+// nested maximal checks (not MaxNodes per worker), and the first worker
+// to observe an exhausted budget stops every other worker.
 type Limits struct {
 	// Deadline aborts the search when passed (reported via
 	// Result.TimedOut); the harness uses this for the paper's INF cells.
 	Deadline time.Time
-	// MaxNodes aborts after this many search-tree nodes (0 = unlimited).
+	// MaxNodes aborts after this many search-tree nodes in total, summed
+	// across all workers and nested maximal checks (0 = unlimited).
+	// Result.Nodes never exceeds MaxNodes.
 	MaxNodes int64
+	// Context, when non-nil, cancels the search when done: cancellation
+	// is observed within budgetCheckInterval search nodes and reported
+	// via Result.TimedOut, like any other exhausted limit.
+	Context context.Context
 }
 
 // EnumOptions configures the maximal (k,r)-core enumeration.
@@ -200,9 +213,10 @@ type EnumOptions struct {
 	MinSize int
 	// Parallelism, when above 1, processes candidate components on
 	// that many goroutines. Results are identical to a serial run
-	// (they are canonicalized); node counts are summed across workers.
+	// (they are canonicalized); all workers draw from one shared
+	// budget, so Limits holds globally, not per worker.
 	Parallelism int
-	// Limits bounds the search.
+	// Limits bounds the search (shared globally across workers).
 	Limits Limits
 
 	// anchorPlus1 restricts the enumeration to cores containing vertex
@@ -226,7 +240,16 @@ type MaxOptions struct {
 	// DisableEarlyTermination turns off Theorem 5 (Algorithm 5 line 1
 	// applies it by default; disabling it is useful for ablations).
 	DisableEarlyTermination bool
-	// Limits bounds the search.
+	// Parallelism, when above 1, searches candidate components on that
+	// many goroutines sharing one incumbent size atomically, so the
+	// (k,k')-core bound prunes globally. For runs that complete without
+	// TimedOut, the reported core is identical to a serial run's (ties
+	// between components are broken by the serial component order);
+	// node counts may differ because pruning depends on when the
+	// incumbent tightens, and truncated runs may stop at different
+	// frontiers.
+	Parallelism int
+	// Limits bounds the search (shared globally across workers).
 	Limits Limits
 }
 
@@ -237,10 +260,11 @@ type Result struct {
 	// most one core for FindMaximum.
 	Cores [][]int32
 	// Nodes counts expanded search-tree nodes across all candidate
-	// components (including maximal-check nodes).
+	// components and workers (including maximal-check nodes). It never
+	// exceeds Limits.MaxNodes when that cap is set.
 	Nodes int64
-	// TimedOut reports whether a limit aborted the search; Cores is then
-	// incomplete.
+	// TimedOut reports whether a limit — deadline, node cap or context
+	// cancellation — aborted the search; Cores is then incomplete.
 	TimedOut bool
 	// Elapsed is the wall-clock duration of the search.
 	Elapsed time.Duration
@@ -269,31 +293,110 @@ func (r *Result) Summarize() Stats {
 	return s
 }
 
-// budget tracks node counts and deadlines shared by a search and its
-// nested maximal checks.
+// budget tracks node counts, deadlines and cancellation for one search.
+// A single budget is shared by every worker of a parallel search and by
+// the nested maximal checks, so the limits are global: the node counter
+// is one atomic total and the stop flag halts all workers at once. The
+// zero value is an unlimited budget.
 type budget struct {
-	limits   Limits
-	nodes    int64
-	timedOut bool
+	limits  Limits
+	nodes   atomic.Int64
+	stopped atomic.Bool
 }
 
-const deadlineCheckMask = 1023
+// newBudget returns a budget enforcing the given limits.
+func newBudget(l Limits) *budget { return &budget{limits: l} }
+
+// budgetCheckInterval is how many search nodes may pass between
+// deadline/cancellation checks (a power of two; the counter is tested
+// against interval-1 as a mask).
+const budgetCheckInterval = 1024
 
 // step accounts for one search node and reports whether the search may
-// continue.
+// continue. Safe for concurrent use. The node counter is clamped so
+// that it never exceeds MaxNodes: a step that would cross the cap is
+// not counted, only refused.
 func (b *budget) step() bool {
-	if b.timedOut {
+	if b.stopped.Load() {
 		return false
 	}
-	b.nodes++
-	if b.limits.MaxNodes > 0 && b.nodes > b.limits.MaxNodes {
-		b.timedOut = true
+	n := b.nodes.Add(1)
+	if b.limits.MaxNodes > 0 && n > b.limits.MaxNodes {
+		// Undo the over-cap increment so Result.Nodes stays clamped to
+		// MaxNodes. Concurrent over-cap steps each undo their own
+		// increment, so the counter settles at most at MaxNodes.
+		b.nodes.Add(-1)
+		b.stopped.Store(true)
 		return false
 	}
-	if !b.limits.Deadline.IsZero() && b.nodes&deadlineCheckMask == 0 &&
-		time.Now().After(b.limits.Deadline) {
-		b.timedOut = true
-		return false
+	if n&(budgetCheckInterval-1) == 0 {
+		if !b.limits.Deadline.IsZero() && time.Now().After(b.limits.Deadline) {
+			b.stopped.Store(true)
+			return false
+		}
+		if b.limits.Context != nil && b.limits.Context.Err() != nil {
+			b.stopped.Store(true)
+			return false
+		}
 	}
 	return true
+}
+
+// exhausted reports whether some limit has stopped the search.
+func (b *budget) exhausted() bool { return b.stopped.Load() }
+
+// count returns the number of accounted search nodes.
+func (b *budget) count() int64 { return b.nodes.Load() }
+
+// precheck stops the budget up front when the context is already
+// cancelled or the deadline already passed, so a search started with a
+// dead context does no work. It reports whether the search may start.
+func (b *budget) precheck() bool {
+	if b.limits.Context != nil && b.limits.Context.Err() != nil {
+		b.stopped.Store(true)
+	}
+	if !b.limits.Deadline.IsZero() && time.Now().After(b.limits.Deadline) {
+		b.stopped.Store(true)
+	}
+	return !b.stopped.Load()
+}
+
+// runPool runs fn(i) for every i in [0, items) on up to `workers`
+// goroutines drawing from the shared budget: once the budget is
+// exhausted, remaining items are drained without running. With one
+// worker (or one item) it runs inline in index order, stopping at the
+// first exhaustion — the common search driver for enumeration, the
+// maximum search and the Clique+ baseline.
+func runPool(items, workers int, bud *budget, fn func(i int)) {
+	if workers > items {
+		workers = items
+	}
+	if workers <= 1 {
+		for i := 0; i < items; i++ {
+			fn(i)
+			if bud.exhausted() {
+				break
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if bud.exhausted() {
+					continue // drain remaining work after exhaustion
+				}
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < items; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
 }

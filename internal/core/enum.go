@@ -23,11 +23,25 @@ func containsLocal(s []int32, v int32) bool {
 // Δ1-then-Δ2 order); the Disable* options reproduce BasicEnum, BE+CR and
 // BE+CR+ET from the evaluation (Table 2, Figure 9).
 func Enumerate(g *graph.Graph, p Params, opt EnumOptions) (*Result, error) {
-	if err := p.validate(); err != nil {
+	start := time.Now()
+	pr, err := Prepare(g, p)
+	if err != nil {
 		return nil, err
 	}
-	if opt.anchorPlus1 > 0 && int(opt.anchorPlus1-1) >= g.N() {
-		return nil, fmt.Errorf("core: anchor vertex %d out of range [0,%d)", opt.anchorPlus1-1, g.N())
+	res, err := pr.Enumerate(opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start) // include preparation time
+	return res, nil
+}
+
+// Enumerate runs the maximal (k,r)-core enumeration over the prepared
+// candidate components. Safe for concurrent use: the prepared state is
+// read-only and every call owns its search state and budget.
+func (pr *Prepared) Enumerate(opt EnumOptions) (*Result, error) {
+	if opt.anchorPlus1 > 0 && int(opt.anchorPlus1-1) >= pr.n {
+		return nil, fmt.Errorf("core: anchor vertex %d out of range [0,%d)", opt.anchorPlus1-1, pr.n)
 	}
 	if opt.Order == OrderDefault {
 		opt.Order = OrderDelta1ThenDelta2 // Section 7.3
@@ -36,7 +50,7 @@ func Enumerate(g *graph.Graph, p Params, opt EnumOptions) (*Result, error) {
 		opt.CheckOrder = OrderDegree // Section 7.4
 	}
 	start := time.Now()
-	probs := prepare(g, p)
+	probs := pr.probs
 	if opt.anchorPlus1 > 0 {
 		probs = filterAnchorComponent(probs, opt.anchorPlus1-1)
 	}
@@ -52,6 +66,16 @@ func Enumerate(g *graph.Graph, p Params, opt EnumOptions) (*Result, error) {
 		TimedOut: timedOut,
 		Elapsed:  time.Since(start),
 	}, nil
+}
+
+// EnumerateContaining runs the anchored enumeration (see the package
+// function of the same name) over the prepared components.
+func (pr *Prepared) EnumerateContaining(v int32, opt EnumOptions) (*Result, error) {
+	if v < 0 || int(v) >= pr.n {
+		return nil, fmt.Errorf("core: query vertex %d out of range [0,%d)", v, pr.n)
+	}
+	opt.anchorPlus1 = v + 1
+	return pr.Enumerate(opt)
 }
 
 // EnumerateContaining returns the maximal (k,r)-cores that contain the
@@ -80,60 +104,24 @@ func filterAnchorComponent(probs []*problem, anchor int32) []*problem {
 }
 
 // runEnumeration searches every candidate component, serially or on a
-// worker pool, and returns the collected cores (global ids).
+// worker pool, and returns the collected cores (global ids). All
+// workers share one budget, so the limits are global: MaxNodes caps the
+// total node count and the first exhausted worker stops the rest.
 func runEnumeration(probs []*problem, opt EnumOptions) (all [][]int32, nodes int64, timedOut bool) {
-	workers := opt.Parallelism
-	if workers < 1 {
-		workers = 1
+	bud := newBudget(opt.Limits)
+	if !bud.precheck() {
+		return nil, 0, true
 	}
-	if workers > len(probs) {
-		workers = len(probs)
+	var mu sync.Mutex
+	emit := func(c []int32) {
+		mu.Lock()
+		all = append(all, c)
+		mu.Unlock()
 	}
-	if workers <= 1 {
-		bud := &budget{limits: opt.Limits}
-		for _, prob := range probs {
-			searchComponent(prob, opt, bud, func(c []int32) { all = append(all, c) })
-			if bud.timedOut {
-				break
-			}
-		}
-		return all, bud.nodes, bud.timedOut
-	}
-
-	var (
-		mu       sync.Mutex
-		work     = make(chan *problem)
-		wg       sync.WaitGroup
-		total    int64
-		anyTimed bool
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			bud := &budget{limits: opt.Limits}
-			for prob := range work {
-				if bud.timedOut {
-					continue // drain remaining work after a timeout
-				}
-				searchComponent(prob, opt, bud, func(c []int32) {
-					mu.Lock()
-					all = append(all, c)
-					mu.Unlock()
-				})
-			}
-			mu.Lock()
-			total += bud.nodes
-			anyTimed = anyTimed || bud.timedOut
-			mu.Unlock()
-		}()
-	}
-	for _, prob := range probs {
-		work <- prob
-	}
-	close(work)
-	wg.Wait()
-	return all, total, anyTimed
+	runPool(len(probs), opt.Parallelism, bud, func(i int) {
+		searchComponent(probs[i], opt, bud, emit)
+	})
+	return all, bud.count(), bud.exhausted()
 }
 
 // searchComponent runs one component's search, honouring the anchor and
@@ -226,7 +214,7 @@ func (e *enumSearch) node() {
 	s.expand(ch.v)
 	e.node()
 	s.rewind(m)
-	if s.bud.timedOut {
+	if s.bud.exhausted() {
 		return
 	}
 	// Shrink branch: the candidate joins the relevant excluded set
@@ -263,7 +251,7 @@ func (e *enumSearch) reportLeaf() {
 			}
 		}
 		e.emit(r)
-		if s.bud.timedOut {
+		if s.bud.exhausted() {
 			return
 		}
 	}

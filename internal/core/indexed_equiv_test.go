@@ -133,11 +133,11 @@ func TestIndexedCliquePlusMatchesSerial(t *testing.T) {
 	}
 	so, io := oraclePair(d, 25)
 	limits := Limits{MaxNodes: 300000}
-	cs, err := CliquePlus(d.Graph, Params{K: 4, Oracle: so}, limits)
+	cs, err := CliquePlus(d.Graph, Params{K: 4, Oracle: so}, CliqueOptions{Limits: limits})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ci, err := CliquePlus(d.Graph, Params{K: 4, Oracle: io}, limits)
+	ci, err := CliquePlus(d.Graph, Params{K: 4, Oracle: io}, CliqueOptions{Limits: limits})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -114,7 +114,7 @@ func TestCliquePlusMatchesBruteForce(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := CliquePlus(inst.g, inst.p, Limits{})
+		res, err := CliquePlus(inst.g, inst.p, CliqueOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -126,7 +126,7 @@ func TestCliquePlusMatchesBruteForce(t *testing.T) {
 
 func TestCliquePlusNodeLimit(t *testing.T) {
 	inst := figure1Instance()
-	res, err := CliquePlus(inst.g, inst.p, Limits{MaxNodes: 1})
+	res, err := CliquePlus(inst.g, inst.p, CliqueOptions{Limits: Limits{MaxNodes: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -174,7 +174,7 @@ func BenchmarkCliquePlusHardBand(b *testing.B) {
 	inst := benchInstance()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := CliquePlus(inst.g, inst.p, Limits{}); err != nil {
+		if _, err := CliquePlus(inst.g, inst.p, CliqueOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}

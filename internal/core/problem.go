@@ -23,34 +23,84 @@ type problem struct {
 	maxDeg int       // maximum structural degree (for component ordering)
 }
 
-// prepare runs the shared preprocessing of Algorithm 1 lines 1-3: drop
-// edges between dissimilar vertices, compute the k-core, split into
-// connected components and build the local problems. Components smaller
-// than k+1 vertices cannot host a (k,r)-core and are skipped.
+// Prepared holds the candidate components of one (k,r) problem, the
+// output of Algorithm 1 lines 1-3, ready to be searched many times.
+// A Prepared is immutable after construction and safe for concurrent
+// use: Enumerate, EnumerateContaining and FindMaximum may all run at
+// once against the same Prepared, each with its own search state and
+// budget. The serving layer (krcore.Engine) caches Prepared values per
+// (k,r) so repeated queries skip preprocessing entirely.
+type Prepared struct {
+	p     Params
+	n     int        // vertex count of the source graph (anchor validation)
+	probs []*problem // candidate components in discovery order
+	byDeg []*problem // the same components sorted by maxDeg descending
+}
+
+// Prepare runs the shared preprocessing of Algorithm 1 lines 1-3 and
+// returns the reusable candidate components.
+func Prepare(g *graph.Graph, p Params) (*Prepared, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return PrepareFiltered(FilterDissimilar(g, p.Oracle), p)
+}
+
+// FilterDissimilar drops the edges of g joining dissimilar vertex pairs
+// (Algorithm 1 line 1), answered as one batched query through the
+// oracle's bulk similarity engine. The result depends only on the
+// similarity threshold r, not on k, so a serving layer can share one
+// filtered graph across every k at the same r.
+func FilterDissimilar(g *graph.Graph, o *similarity.Oracle) *graph.Graph {
+	return g.FilterEdgesBatch(simindex.For(o).SimilarBatch)
+}
+
+// PrepareFiltered builds the candidate components for p on a graph
+// already filtered by FilterDissimilar with p.Oracle: it computes the
+// k-core, splits it into connected components and builds the local
+// problems. Components smaller than k+1 vertices cannot host a
+// (k,r)-core and are skipped.
 //
-// Both preprocessing stages run through the oracle's bulk similarity
-// engine (simindex): the edge filter is answered as one batched query
-// and the per-component dissimilarity lists come from the engine's bulk
+// The per-component dissimilarity lists come from the bulk engine's
 // similar-pair construction instead of O(n²) per-pair oracle calls.
 // The engine is bit-identical to the serial oracle path, so the
 // resulting problems — and every core derived from them — are
 // unchanged.
-func prepare(g *graph.Graph, p Params) []*problem {
+func PrepareFiltered(filtered *graph.Graph, p Params) (*Prepared, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	pr := &Prepared{p: p, n: filtered.N()}
 	src := simindex.For(p.Oracle)
-	filtered := g.FilterEdgesBatch(src.SimilarBatch)
 	kc := kcore.KCore(filtered, p.K)
 	if len(kc) == 0 {
-		return nil
+		return pr, nil
 	}
-	comps := filtered.ComponentsOf(kc)
-	var probs []*problem
-	for _, comp := range comps {
+	for _, comp := range filtered.ComponentsOf(kc) {
 		if len(comp) < p.K+1 {
 			continue
 		}
-		probs = append(probs, buildProblem(filtered, src, p, comp))
+		pr.probs = append(pr.probs, buildProblem(filtered, src, p, comp))
 	}
-	return probs
+	// The maximum search starts from the component holding the
+	// highest-degree vertex (Section 6.1): a large core early tightens
+	// the size bound everywhere. Sorted once here so concurrent
+	// FindMaximum calls share the read-only order.
+	pr.byDeg = append([]*problem(nil), pr.probs...)
+	sort.SliceStable(pr.byDeg, func(i, j int) bool { return pr.byDeg[i].maxDeg > pr.byDeg[j].maxDeg })
+	return pr, nil
+}
+
+// Components reports the number of prepared candidate components.
+func (pr *Prepared) Components() int { return len(pr.probs) }
+
+// prepare is the single-shot form used by the baselines and tests.
+func prepare(g *graph.Graph, p Params) []*problem {
+	pr, err := Prepare(g, p)
+	if err != nil {
+		return nil
+	}
+	return pr.probs
 }
 
 // buildProblem constructs the local problem for one component of the

@@ -42,6 +42,9 @@ var Experiments = []Experiment{
 	{"fig13b", "enumeration vs r (DBLP)", Fig13b},
 	{"fig14a", "maximum vs k (Gowalla)", Fig14a},
 	{"fig14b", "maximum vs r (DBLP)", Fig14b},
+	// Beyond the paper: serving-layer measurements (PR 2).
+	{"engine", "serving engine cache-hit speedup (all presets)", EngineCache},
+	{"parmax", "parallel AdvMax scaling across components (all presets)", ParallelMax},
 }
 
 // Find returns the experiment with the given id, or nil.

@@ -12,21 +12,22 @@ import (
 )
 
 // Report is one reproduced table or figure: a grid of formatted cells
-// with one row per series and one column per x-axis value.
+// with one row per series and one column per x-axis value. The struct
+// marshals directly to the benchrunner's -json output.
 type Report struct {
-	ID     string // e.g. "fig9a"
-	Title  string // e.g. "Figure 9(a): pruning techniques, Gowalla k=5"
-	XLabel string // e.g. "r (km)"
-	Xs     []string
-	Series []Series
+	ID     string   `json:"id"`     // e.g. "fig9a"
+	Title  string   `json:"title"`  // e.g. "Figure 9(a): pruning techniques, Gowalla k=5"
+	XLabel string   `json:"xlabel"` // e.g. "r (km)"
+	Xs     []string `json:"xs"`
+	Series []Series `json:"series"`
 	// Notes carries free-form lines (case-study output, caveats).
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // Series is one curve/bar group of a figure.
 type Series struct {
-	Name  string
-	Cells []string
+	Name  string   `json:"name"`
+	Cells []string `json:"cells"`
 }
 
 // AddSeries appends a series; the number of cells should match len(Xs).

@@ -103,7 +103,7 @@ func (r *Runner) timedMax(name string, k int, rval float64, permille bool, opt c
 // timedClique runs one Clique+ cell.
 func (r *Runner) timedClique(name string, k int, rval float64, permille bool) (string, *core.Result) {
 	p := r.params(name, k, rval, permille)
-	res, err := core.CliquePlus(r.Dataset(name).Graph, p, r.limits())
+	res, err := core.CliquePlus(r.Dataset(name).Graph, p, core.CliqueOptions{Limits: r.limits()})
 	if err != nil {
 		panic(err)
 	}

@@ -72,10 +72,17 @@ type Stats = core.Stats
 type EnumOptions = core.EnumOptions
 
 // MaxOptions configures FindMaximum. The zero value is the paper's full
-// AdvMax configuration.
+// AdvMax configuration; set Parallelism to search candidate components
+// concurrently with a shared incumbent.
 type MaxOptions = core.MaxOptions
 
-// Limits bounds a search by deadline or node count.
+// CliqueOptions configures the CliquePlus baseline.
+type CliqueOptions = core.CliqueOptions
+
+// Limits bounds a search by deadline, node count or context
+// cancellation. Limits are global: with Parallelism above 1, MaxNodes
+// caps the total node count across all workers (never per worker) and
+// Result.Nodes never exceeds it.
 type Limits = core.Limits
 
 // Search order constants (Section 7 of the paper).
@@ -126,8 +133,8 @@ func FindMaximum(g *Graph, p Params, opt MaxOptions) (*Result, error) {
 
 // CliquePlus runs the clique-based baseline of Section 3 (for
 // comparison; EnumerateMaximal is faster).
-func CliquePlus(g *Graph, p Params, limits Limits) (*Result, error) {
-	return core.CliquePlus(g, p, limits)
+func CliquePlus(g *Graph, p Params, opt CliqueOptions) (*Result, error) {
+	return core.CliquePlus(g, p, opt)
 }
 
 // CoreNumbers returns the classic k-core number of every vertex
@@ -156,6 +163,10 @@ func (a *GeoAttributes) Set(u int32, x, y float64) {
 func (a *GeoAttributes) WithinDistance(r float64) *Oracle {
 	return similarity.NewOracle(similarity.Euclidean{Store: a.store}, r)
 }
+
+// Metric exposes the raw Euclidean distance metric (for Engine
+// construction).
+func (a *GeoAttributes) Metric() Metric { return similarity.Euclidean{Store: a.store} }
 
 // KeywordAttributes stores one keyword set per vertex and builds
 // Jaccard similarity oracles.

@@ -56,7 +56,7 @@ func TestFindMaximumFacade(t *testing.T) {
 
 func TestCliquePlusFacade(t *testing.T) {
 	g, kw := buildTwoGroups()
-	res, err := CliquePlus(g, Params{K: 2, Oracle: kw.JaccardAtLeast(0.5)}, Limits{})
+	res, err := CliquePlus(g, Params{K: 2, Oracle: kw.JaccardAtLeast(0.5)}, CliqueOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
