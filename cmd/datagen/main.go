@@ -1,35 +1,56 @@
 // Command datagen generates the synthetic stand-in datasets and writes
-// them in the text format understood by krcore -load.
+// them in the text format understood by krcore -load. With -updates it
+// additionally emits a random dynamic update stream for the generated
+// dataset, replayable with krcore -updates.
 //
 // Usage:
 //
 //	datagen -preset gowalla -out gowalla.txt
 //	datagen -preset dblp -seed 7 -n 8000 -out big-dblp.txt
+//	datagen -preset gowalla -out g.txt -updates 1000 -updates-out g-updates.txt
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
 	"krcore/internal/dataset"
+	"krcore/internal/updates"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("datagen: ")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		preset = flag.String("preset", "gowalla", "preset to generate (brightkite, gowalla, dblp, pokec)")
-		out    = flag.String("out", "", "output file (default stdout)")
-		seed   = flag.Int64("seed", 0, "override the preset's seed (0 = keep)")
-		n      = flag.Int("n", 0, "override the vertex count (0 = keep)")
+		preset  = fs.String("preset", "gowalla", "preset to generate (brightkite, gowalla, dblp, pokec)")
+		out     = fs.String("out", "", "output file (default stdout)")
+		seed    = fs.Int64("seed", 0, "override the preset's seed (0 = keep)")
+		n       = fs.Int("n", 0, "override the vertex count (0 = keep)")
+		nUps    = fs.Int("updates", 0, "also generate a random update stream of this many operations")
+		upsOut  = fs.String("updates-out", "", "update stream output file (required with -updates)")
+		upsSeed = fs.Int64("updates-seed", 1, "seed for the update stream")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *nUps > 0 && *upsOut == "" {
+		return fmt.Errorf("-updates needs -updates-out (the dataset already uses -out/stdout)")
+	}
 
 	cfg, err := dataset.Preset(*preset)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
@@ -42,25 +63,46 @@ func main() {
 	}
 	d, err := dataset.Generate(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	w := os.Stdout
+	w := stdout
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
+		f, err = os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
-			}
-		}()
 		w = f
 	}
 	if err := d.Save(w); err != nil {
-		log.Fatal(err)
+		if f != nil {
+			f.Close()
+		}
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s: %d vertices, %d edges, avg degree %.1f, max degree %d\n",
+	if f != nil {
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stderr, "wrote %s: %d vertices, %d edges, avg degree %.1f, max degree %d\n",
 		d.Name, d.Graph.N(), d.Graph.M(), d.Graph.AvgDegree(), d.Graph.MaxDegree())
+
+	if *nUps > 0 {
+		ups := updates.Random(d, *nUps, *upsSeed)
+		f, err := os.Create(*upsOut)
+		if err != nil {
+			return err
+		}
+		if err := updates.Write(f, ups, d.Kind); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote %d updates to %s\n", len(ups), *upsOut)
+	}
+	return nil
 }

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"krcore/internal/dataset"
+	"krcore/internal/updates"
+)
+
+func TestRunWritesDatasetAndUpdates(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "g.txt")
+	ups := filepath.Join(dir, "g-updates.txt")
+	var out, errBuf bytes.Buffer
+	err := run([]string{
+		"-preset", "gowalla", "-n", "80", "-out", data,
+		"-updates", "40", "-updates-out", ups,
+	}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBuf.String(), "wrote gowalla") || !strings.Contains(errBuf.String(), "wrote 40 updates") {
+		t.Fatalf("missing summary output: %q", errBuf.String())
+	}
+	// The dataset file round-trips.
+	f, err := os.Open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := dataset.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Graph.N() != 80 {
+		t.Fatalf("reloaded N = %d, want 80", d.Graph.N())
+	}
+	// The update stream parses and replays.
+	uf, err := os.Open(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer uf.Close()
+	parsed, err := updates.Parse(uf, d.Kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 40 {
+		t.Fatalf("parsed %d updates, want 40", len(parsed))
+	}
+}
+
+func TestRunToStdout(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-preset", "brightkite", "-n", "60", "-seed", "9"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "d brightkite") {
+		t.Fatalf("stdout does not start with a dataset header: %q", out.String()[:40])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := [][]string{
+		{"-preset", "nosuch"},
+		{"-updates", "10"}, // missing -updates-out
+		{"-preset", "gowalla", "-n", "50", "-out", filepath.Join(dir, "missing", "x.txt")},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var out, errBuf bytes.Buffer
+		if err := run(args, &out, &errBuf); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,12 +1,16 @@
 // Command krcore runs (k,r)-core computations on a dataset: enumerate
 // all maximal cores, find the maximum core, or run the clique-based
-// baseline, printing result statistics.
+// baseline, printing result statistics. With -updates it first replays
+// a dynamic update stream (written by datagen -updates) through the
+// mutable serving engine, reporting incremental maintenance cost, and
+// answers the query on the mutated graph.
 //
 // Usage:
 //
 //	krcore -data gowalla -k 5 -r 100 -algo enum
 //	krcore -data dblp -k 15 -permille 3 -algo max
 //	krcore -load mygraph.txt -k 4 -r 25 -algo enum -show 5
+//	krcore -load mygraph.txt -updates stream.txt -update-batch 16 -k 4 -r 25
 //
 // Datasets come from the built-in presets (-data) or a file previously
 // written by datagen (-load). For geo datasets -r is a distance in km;
@@ -17,76 +21,162 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
 
+	"krcore"
 	"krcore/internal/core"
 	"krcore/internal/dataset"
+	"krcore/internal/updates"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("krcore: ")
+	timedOut, err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if timedOut {
+		os.Exit(2)
+	}
+}
+
+// run executes one invocation and reports whether the search exceeded
+// its budget (exit code 2 for scripts polling completeness).
+func run(args []string, stdout, stderr io.Writer) (timedOut bool, err error) {
+	fs := flag.NewFlagSet("krcore", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		data     = flag.String("data", "", "preset dataset name (brightkite, gowalla, dblp, pokec)")
-		load     = flag.String("load", "", "load a dataset file written by datagen")
-		k        = flag.Int("k", 5, "degree threshold k")
-		r        = flag.Float64("r", 0, "similarity threshold r (km for geo, metric value otherwise)")
-		permille = flag.Float64("permille", 0, "derive r from the top-permille of pairwise similarity")
-		algo     = flag.String("algo", "enum", "algorithm: enum, max or clique")
-		budget   = flag.Duration("budget", time.Minute, "time budget (0 = unlimited)")
-		maxNodes = flag.Int64("max-nodes", 0, "global search-node budget shared by all workers (0 = unlimited)")
-		parallel = flag.Int("parallel", 1, "worker goroutines searching candidate components")
-		show     = flag.Int("show", 0, "print the first N result cores")
+		data     = fs.String("data", "", "preset dataset name (brightkite, gowalla, dblp, pokec)")
+		load     = fs.String("load", "", "load a dataset file written by datagen")
+		k        = fs.Int("k", 5, "degree threshold k")
+		r        = fs.Float64("r", 0, "similarity threshold r (km for geo, metric value otherwise)")
+		permille = fs.Float64("permille", 0, "derive r from the top-permille of pairwise similarity")
+		algo     = fs.String("algo", "enum", "algorithm: enum, max or clique")
+		budget   = fs.Duration("budget", time.Minute, "time budget (0 = unlimited)")
+		maxNodes = fs.Int64("max-nodes", 0, "global search-node budget shared by all workers (0 = unlimited)")
+		parallel = fs.Int("parallel", 1, "worker goroutines searching candidate components")
+		show     = fs.Int("show", 0, "print the first N result cores")
+		updFile  = fs.String("updates", "", "replay a dynamic update stream before querying")
+		updBatch = fs.Int("update-batch", 1, "operations per update commit in -updates replay")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
 
 	d, err := openDataset(*data, *load)
 	if err != nil {
-		log.Fatal(err)
+		return false, err
 	}
 	thr := *r
 	if *permille > 0 {
 		thr = d.TopPermille(*permille)
-		fmt.Printf("top %g permille -> r = %.4f\n", *permille, thr)
+		fmt.Fprintf(stdout, "top %g permille -> r = %.4f\n", *permille, thr)
 	}
-	params := core.Params{K: *k, Oracle: d.Oracle(thr)}
 	limits := core.Limits{MaxNodes: *maxNodes}
 	if *budget > 0 {
 		limits.Deadline = time.Now().Add(*budget)
 	}
 
 	var res *core.Result
-	switch *algo {
-	case "enum":
-		res, err = core.Enumerate(d.Graph, params, core.EnumOptions{Limits: limits, Parallelism: *parallel})
-	case "max":
-		res, err = core.FindMaximum(d.Graph, params, core.MaxOptions{Limits: limits, Parallelism: *parallel})
-	case "clique":
-		res, err = core.CliquePlus(d.Graph, params, core.CliqueOptions{Limits: limits, Parallelism: *parallel})
-	default:
-		log.Fatalf("unknown -algo %q (want enum, max or clique)", *algo)
+	g := d.Graph
+	if *updFile != "" {
+		res, g, err = replayAndQuery(stdout, d, *updFile, *updBatch, *k, thr, *algo, limits, *parallel)
+	} else {
+		params := core.Params{K: *k, Oracle: d.Oracle(thr)}
+		switch *algo {
+		case "enum":
+			res, err = core.Enumerate(g, params, core.EnumOptions{Limits: limits, Parallelism: *parallel})
+		case "max":
+			res, err = core.FindMaximum(g, params, core.MaxOptions{Limits: limits, Parallelism: *parallel})
+		case "clique":
+			res, err = core.CliquePlus(g, params, core.CliqueOptions{Limits: limits, Parallelism: *parallel})
+		default:
+			err = fmt.Errorf("unknown -algo %q (want enum, max or clique)", *algo)
+		}
 	}
 	if err != nil {
-		log.Fatal(err)
+		return false, err
 	}
 
 	stats := res.Summarize()
-	fmt.Printf("dataset %s: %d vertices, %d edges\n", d.Name, d.Graph.N(), d.Graph.M())
-	fmt.Printf("algorithm %s, k=%d, r=%.4f: %v", *algo, *k, thr, res.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "dataset %s: %d vertices, %d edges\n", d.Name, g.N(), g.M())
+	fmt.Fprintf(stdout, "algorithm %s, k=%d, r=%.4f: %v", *algo, *k, thr, res.Elapsed.Round(time.Millisecond))
 	if res.TimedOut {
-		fmt.Print(" (budget exceeded, results incomplete)")
+		fmt.Fprint(stdout, " (budget exceeded, results incomplete)")
 	}
-	fmt.Println()
-	fmt.Printf("cores: %d, max size: %d, avg size: %.1f (search nodes: %d)\n",
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "cores: %d, max size: %d, avg size: %.1f (search nodes: %d)\n",
 		stats.Count, stats.MaxSize, stats.AvgSize, res.Nodes)
 	for i := 0; i < *show && i < len(res.Cores); i++ {
-		fmt.Printf("  core %d (%d vertices): %v\n", i+1, len(res.Cores[i]), res.Cores[i])
+		fmt.Fprintf(stdout, "  core %d (%d vertices): %v\n", i+1, len(res.Cores[i]), res.Cores[i])
 	}
-	if res.TimedOut {
-		os.Exit(2)
+	return res.TimedOut, nil
+}
+
+// replayAndQuery wires the dataset into a DynamicEngine, warms the
+// query setting, replays the update stream and answers the query on the
+// mutated snapshot. Warming first makes the replay measure exactly what
+// a live service pays: incremental maintenance of prepared state, not
+// cold preprocessing.
+func replayAndQuery(stdout io.Writer, d *dataset.Dataset, updFile string, batch, k int,
+	thr float64, algo string, limits core.Limits, parallel int) (*core.Result, *krcore.Graph, error) {
+	if algo != "enum" && algo != "max" {
+		return nil, nil, fmt.Errorf("-updates supports -algo enum or max, not %q", algo)
 	}
+	f, err := os.Open(updFile)
+	if err != nil {
+		return nil, nil, err
+	}
+	ups, err := updates.Parse(f, d.Kind)
+	f.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	attrs, err := updates.Attrs(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng, err := krcore.NewDynamicEngine(d.Graph, attrs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := eng.Warm(k, thr); err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	batches, err := updates.Replay(eng, ups, batch)
+	if err != nil {
+		return nil, nil, err
+	}
+	elapsed := time.Since(start)
+	ds := eng.DynamicStats()
+	fmt.Fprintf(stdout, "replayed %d updates in %d batches: %v (%v/batch)\n",
+		len(ups), batches, elapsed.Round(time.Millisecond), (elapsed / time.Duration(maxInt(batches, 1))).Round(time.Microsecond))
+	fmt.Fprintf(stdout, "scoped invalidation: %d indexes kept, %d rebuilt; %d components reused, %d rebuilt\n",
+		ds.IndexesKept, ds.IndexesRebuilt, ds.ComponentsReused, ds.ComponentsRebuilt)
+
+	var res *core.Result
+	switch algo {
+	case "enum":
+		res, err = eng.Enumerate(k, thr, core.EnumOptions{Limits: limits, Parallelism: parallel})
+	case "max":
+		res, err = eng.FindMaximum(k, thr, core.MaxOptions{Limits: limits, Parallelism: parallel})
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, eng.Graph(), nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func openDataset(preset, file string) (*dataset.Dataset, error) {

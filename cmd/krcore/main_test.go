@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"krcore/internal/dataset"
+	"krcore/internal/updates"
+)
+
+// writeSmallDataset saves a reduced gowalla-style dataset plus a random
+// update stream into dir and returns both paths.
+func writeSmallDataset(t *testing.T, dir string) (data, ups string) {
+	t.Helper()
+	cfg, err := dataset.Preset("gowalla")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.N = 150
+	cfg.NumCommunities = 5
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = filepath.Join(dir, "g.txt")
+	f, err := os.Create(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ups = filepath.Join(dir, "ups.txt")
+	uf, err := os.Create(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := updates.Write(uf, updates.Random(d, 50, 3), d.Kind); err != nil {
+		t.Fatal(err)
+	}
+	if err := uf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return data, ups
+}
+
+func TestRunLoadedDataset(t *testing.T) {
+	data, _ := writeSmallDataset(t, t.TempDir())
+	for _, algo := range []string{"enum", "max", "clique"} {
+		var out bytes.Buffer
+		timedOut, err := run([]string{"-load", data, "-k", "4", "-r", "12", "-algo", algo, "-show", "2"}, &out, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if timedOut {
+			t.Fatalf("%s: timed out on a tiny dataset", algo)
+		}
+		if !strings.Contains(out.String(), "cores:") {
+			t.Fatalf("%s: missing summary: %q", algo, out.String())
+		}
+	}
+}
+
+func TestRunUpdatesReplay(t *testing.T) {
+	data, ups := writeSmallDataset(t, t.TempDir())
+	for _, algo := range []string{"enum", "max"} {
+		var out bytes.Buffer
+		timedOut, err := run([]string{
+			"-load", data, "-updates", ups, "-update-batch", "8",
+			"-k", "4", "-r", "12", "-algo", algo,
+		}, &out, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if timedOut {
+			t.Fatal("replay run timed out")
+		}
+		s := out.String()
+		if !strings.Contains(s, "replayed 50 updates in 7 batches") {
+			t.Fatalf("missing replay summary: %q", s)
+		}
+		if !strings.Contains(s, "scoped invalidation:") || !strings.Contains(s, "cores:") {
+			t.Fatalf("missing invalidation/result output: %q", s)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	data, ups := writeSmallDataset(t, dir)
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("zz nonsense\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{},                                      // neither -data nor -load
+		{"-data", "gowalla", "-load", data},     // both sources
+		{"-data", "nosuch"},                     // unknown preset
+		{"-load", filepath.Join(dir, "nofile")}, // missing file
+		{"-load", bad},                          // unparseable dataset
+		{"-load", data, "-algo", "nosuch"},      // unknown algorithm
+		{"-load", data, "-updates", filepath.Join(dir, "noups")}, // missing stream
+		{"-load", data, "-updates", bad},                         // unparseable stream
+		{"-load", data, "-updates", ups, "-algo", "clique"},      // unsupported combo
+		{"-badflag"}, // flag error
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if _, err := run(args, &out, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunPreset(t *testing.T) {
+	// A preset query with k far above any core: the pipeline runs end to
+	// end and reports zero cores quickly.
+	var out bytes.Buffer
+	timedOut, err := run([]string{"-data", "brightkite", "-k", "500", "-r", "5"}, &out, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timedOut {
+		t.Fatal("preset run timed out")
+	}
+	if !strings.Contains(out.String(), "cores: 0") {
+		t.Fatalf("want zero cores at k=500: %q", out.String())
+	}
+}

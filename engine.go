@@ -9,6 +9,7 @@ import (
 
 	"krcore/internal/core"
 	"krcore/internal/graph"
+	"krcore/internal/simgraph"
 )
 
 // Engine is the build-once/serve-many layer for answering many (k,r)
@@ -48,18 +49,37 @@ type krKey struct {
 	r float64
 }
 
-// rEntry is the r-dependent, k-independent shared state.
+// rEntry is the r-dependent, k-independent shared state. ready is set
+// when the once body completed; advance only carries ready entries
+// (callers serialise advance with queries, so the flag is ordered).
 type rEntry struct {
 	once     sync.Once
 	oracle   *Oracle
 	filtered *graph.Graph
+	ready    bool
 }
 
 // krEntry is the prepared problem of one (k,r) setting.
 type krEntry struct {
-	once sync.Once
-	pr   *core.Prepared
-	err  error
+	once  sync.Once
+	pr    *core.Prepared
+	err   error
+	ready bool
+}
+
+// readyREntry wraps already-built per-r state so later queries treat it
+// as constructed (the once is pre-fired).
+func readyREntry(o *Oracle, filtered *graph.Graph) *rEntry {
+	ent := &rEntry{oracle: o, filtered: filtered, ready: true}
+	ent.once.Do(func() {})
+	return ent
+}
+
+// readyKREntry wraps an already-prepared (k,r) problem.
+func readyKREntry(pr *core.Prepared) *krEntry {
+	ent := &krEntry{pr: pr, ready: true}
+	ent.once.Do(func() {})
+	return ent
 }
 
 // NewEngine returns a serving engine for the graph and similarity
@@ -183,6 +203,7 @@ func (e *Engine) prepared(k int, r float64) (*core.Prepared, error) {
 	ent.once.Do(func() {
 		re := e.forR(r)
 		ent.pr, ent.err = core.PrepareFiltered(re.filtered, core.Params{K: k, Oracle: re.oracle})
+		ent.ready = true
 	})
 	return ent.pr, ent.err
 }
@@ -201,6 +222,98 @@ func (e *Engine) forR(r float64) *rEntry {
 		ent.oracle = NewOracle(e.metric, r)
 		BuildIndex(ent.oracle)
 		ent.filtered = core.FilterDissimilar(e.g, ent.oracle)
+		ent.ready = true
 	})
 	return ent
+}
+
+// advanceDelta describes one committed mutation batch to the engine's
+// scoped invalidation: the post-mutation graph, the effective edge diff
+// (normalized u < v), the vertices with changed attributes, whether the
+// vertex set grew, and the touched mask (endpoints of every changed
+// pair plus every attribute-changed vertex, length g2.N()).
+type advanceDelta struct {
+	g2        *graph.Graph
+	addPairs  [][2]int32
+	delPairs  [][2]int32
+	attrVerts []int32
+	grown     bool
+	touched   []bool
+}
+
+// advanceStats reports what one advance carried over versus rebuilt.
+type advanceStats struct {
+	indexesKept, indexesRebuilt         int
+	componentsReused, componentsRebuilt int
+}
+
+// advance returns a new engine serving the mutated graph, carrying over
+// every cache entry the delta provably left intact:
+//
+//   - per-r oracles and bulk similarity indexes survive structure-only
+//     changes (they depend on attributes alone); attribute changes and
+//     vertex growth rebuild them, because indexes snapshot per-vertex
+//     state at construction;
+//   - per-r filtered graphs are patched incrementally — only the new
+//     and attribute-changed pairs consult the similarity engine (see
+//     simgraph.PatchFiltered), never all m edges;
+//   - per-(k,r) prepared candidate components are re-derived from the
+//     patched filtered graph (k-core + components, O(n+m)), and every
+//     component untouched by the delta keeps its existing problem,
+//     including its dissimilarity lists (see core.PatchPrepared).
+//
+// Cache hit/miss counters carry over so Stats stays coherent across
+// mutations. The receiver is left unchanged; the caller must serialise
+// advance with queries on the same engine value (DynamicEngine holds
+// its write lock across the call).
+func (e *Engine) advance(d advanceDelta) (*Engine, advanceStats) {
+	var st advanceStats
+	ne := NewEngine(d.g2, e.metric)
+	ne.hits.Store(e.hits.Load())
+	ne.miss.Store(e.miss.Load())
+	e.mu.Lock()
+	rs := make(map[float64]*rEntry, len(e.byR))
+	for r, ent := range e.byR {
+		rs[r] = ent
+	}
+	krs := make(map[krKey]*krEntry, len(e.byKR))
+	for key, ent := range e.byKR {
+		krs[key] = ent
+	}
+	e.mu.Unlock()
+	attrsChanged := len(d.attrVerts) > 0 || d.grown
+	for r, old := range rs {
+		if !old.ready {
+			continue // never finished building; rebuilt lazily on demand
+		}
+		oracle := old.oracle
+		if attrsChanged {
+			oracle = NewOracle(e.metric, r)
+			BuildIndex(oracle)
+			st.indexesRebuilt++
+		} else {
+			st.indexesKept++
+		}
+		filtered := simgraph.PatchFiltered(old.filtered, oracle.Bulk(), d.g2,
+			d.addPairs, d.delPairs, d.attrVerts)
+		ne.byR[r] = readyREntry(oracle, filtered)
+	}
+	for key, old := range krs {
+		if !old.ready || old.err != nil {
+			continue
+		}
+		re := ne.byR[key.r]
+		if re == nil {
+			continue
+		}
+		pr, pst, err := core.PatchPrepared(old.pr, re.filtered,
+			core.Params{K: key.k, Oracle: re.oracle}, d.touched)
+		if err != nil {
+			continue // impossible for a cached entry; rebuild lazily
+		}
+		st.componentsReused += pst.Reused
+		st.componentsRebuilt += pst.Rebuilt
+		ne.byKR[key] = readyKREntry(pr)
+	}
+	return ne, st
 }

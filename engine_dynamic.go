@@ -1,0 +1,344 @@
+package krcore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"krcore/internal/graph"
+)
+
+// UpdateOp identifies one mutation kind in an Update.
+type UpdateOp uint8
+
+const (
+	// OpAddEdge inserts the undirected edge (U,V); inserting an existing
+	// edge is a no-op.
+	OpAddEdge UpdateOp = iota
+	// OpRemoveEdge deletes the undirected edge (U,V); deleting a missing
+	// edge is a no-op.
+	OpRemoveEdge
+	// OpAddVertex appends one isolated vertex with zero-valued
+	// attributes; edges to it may follow in the same batch.
+	OpAddVertex
+	// OpSetAttributes replaces the attributes of vertex U with Attrs.
+	OpSetAttributes
+)
+
+// String returns the update-stream mnemonic of the operation.
+func (op UpdateOp) String() string {
+	switch op {
+	case OpAddEdge:
+		return "add-edge"
+	case OpRemoveEdge:
+		return "remove-edge"
+	case OpAddVertex:
+		return "add-vertex"
+	case OpSetAttributes:
+		return "set-attributes"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// VertexAttributes carries one vertex's new attributes for whichever
+// attribute kind the engine serves: X/Y for geo stores, Keys for
+// keyword stores, Keys+Weights for weighted keyword stores. Fields
+// irrelevant to the store's kind are ignored.
+type VertexAttributes struct {
+	X, Y    float64
+	Keys    []int32
+	Weights []float64
+}
+
+// Update is one mutation of a DynamicEngine's graph or attributes.
+// Within a batch, updates validate and take effect in order, so an
+// OpAddVertex may be followed by edges to the new vertex.
+type Update struct {
+	Op    UpdateOp
+	U, V  int32
+	Attrs VertexAttributes
+}
+
+// AddEdgeUpdate returns an OpAddEdge update.
+func AddEdgeUpdate(u, v int32) Update { return Update{Op: OpAddEdge, U: u, V: v} }
+
+// RemoveEdgeUpdate returns an OpRemoveEdge update.
+func RemoveEdgeUpdate(u, v int32) Update { return Update{Op: OpRemoveEdge, U: u, V: v} }
+
+// AddVertexUpdate returns an OpAddVertex update.
+func AddVertexUpdate() Update { return Update{Op: OpAddVertex} }
+
+// SetAttributesUpdate returns an OpSetAttributes update for vertex u.
+func SetAttributesUpdate(u int32, a VertexAttributes) Update {
+	return Update{Op: OpSetAttributes, U: u, Attrs: a}
+}
+
+// DynamicAttributes is the mutable attribute store a DynamicEngine
+// maintains alongside its graph. GeoAttributes, KeywordAttributes and
+// WeightedKeywordAttributes implement it; adapters over custom metrics
+// only need these three methods.
+type DynamicAttributes interface {
+	// Metric exposes the similarity metric reading the store.
+	Metric() Metric
+	// Grow extends the store to n vertices with zero-valued attributes
+	// (no-op when already at least that large).
+	Grow(n int)
+	// SetAttributes replaces the attributes of vertex u with the
+	// kind-relevant fields of a.
+	SetAttributes(u int32, a VertexAttributes)
+}
+
+// DynamicStats counts a DynamicEngine's update activity and how much
+// cached state its scoped invalidation preserved.
+type DynamicStats struct {
+	// Updates is the number of individual operations accepted.
+	Updates int64
+	// Batches is the number of ApplyBatch commits (no-op batches
+	// included).
+	Batches int64
+	// Version counts published graph snapshots; a no-op batch does not
+	// bump it.
+	Version int64
+	// IndexesKept / IndexesRebuilt count per-threshold similarity
+	// indexes carried across updates versus rebuilt (structure-only
+	// changes keep them; attribute changes and vertex growth rebuild).
+	IndexesKept, IndexesRebuilt int64
+	// ComponentsReused / ComponentsRebuilt count prepared (k,r)
+	// candidate components carried across updates versus rebuilt.
+	ComponentsReused, ComponentsRebuilt int64
+}
+
+// DynamicEngine is the mutable serving layer: an Engine that accepts
+// live graph and attribute updates — AddEdge, RemoveEdge, AddVertex,
+// SetAttributes, batched through ApplyBatch — while staying answerable
+// for (k,r) queries. Social networks are never static; this layer makes
+// a mutation cost incremental work instead of discarding every cached
+// oracle, similarity index, filtered graph and prepared component.
+//
+// Every committed batch publishes a fresh immutable snapshot (graph
+// plus engine) built by scoped invalidation: structure-only changes
+// keep the per-r similarity indexes; the per-r filtered graphs are
+// patched by classifying only the new or changed pairs; and prepared
+// (k,r) components untouched by the delta are reused verbatim. Results
+// are always bit-identical to a from-scratch Engine over the mutated
+// graph — the differential test harness enforces exactly that.
+//
+// Concurrency: query methods take a shared lock and run fully in
+// parallel with each other; mutations take the exclusive lock, so a
+// batch waits for in-flight queries and blocks queries only while the
+// snapshot is advanced (preparation work, never search work). All
+// methods are safe for concurrent use.
+type DynamicEngine struct {
+	mu    sync.RWMutex
+	attrs DynamicAttributes
+	g     *graph.Graph
+	eng   *Engine
+	stats DynamicStats
+}
+
+// NewDynamicEngine returns a mutable serving engine over the graph and
+// attribute store. The store is grown to cover the graph's vertices;
+// the engine owns both from here on — mutate them only through engine
+// updates, never directly, or cached state will silently diverge.
+func NewDynamicEngine(g *Graph, attrs DynamicAttributes) (*DynamicEngine, error) {
+	if g == nil {
+		return nil, errors.New("krcore: dynamic engine needs a graph")
+	}
+	if attrs == nil {
+		return nil, errors.New("krcore: dynamic engine needs a dynamic attribute store")
+	}
+	attrs.Grow(g.N())
+	return &DynamicEngine{attrs: attrs, g: g, eng: NewEngine(g, attrs.Metric())}, nil
+}
+
+// AddEdge inserts the undirected edge (u,v). Inserting an existing edge
+// is a no-op; self-loops and out-of-range endpoints are errors.
+func (d *DynamicEngine) AddEdge(u, v int32) error {
+	return d.ApplyBatch([]Update{AddEdgeUpdate(u, v)})
+}
+
+// RemoveEdge deletes the undirected edge (u,v). Deleting a missing edge
+// is a no-op; self-loops and out-of-range endpoints are errors.
+func (d *DynamicEngine) RemoveEdge(u, v int32) error {
+	return d.ApplyBatch([]Update{RemoveEdgeUpdate(u, v)})
+}
+
+// AddVertex appends one isolated vertex with zero-valued attributes and
+// returns its id.
+func (d *DynamicEngine) AddVertex() (int32, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.applyLocked([]Update{AddVertexUpdate()}); err != nil {
+		return 0, err
+	}
+	return int32(d.g.N() - 1), nil
+}
+
+// SetAttributes replaces the attributes of vertex u.
+func (d *DynamicEngine) SetAttributes(u int32, a VertexAttributes) error {
+	return d.ApplyBatch([]Update{SetAttributesUpdate(u, a)})
+}
+
+// ApplyBatch validates and commits a batch of updates atomically: on
+// the first invalid update nothing is applied, otherwise the whole
+// batch becomes one new snapshot (one scoped invalidation, however many
+// operations). An empty batch is a no-op.
+func (d *DynamicEngine) ApplyBatch(batch []Update) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.applyLocked(batch)
+}
+
+// applyLocked is ApplyBatch under d.mu.
+func (d *DynamicEngine) applyLocked(batch []Update) error {
+	if len(batch) == 0 {
+		d.stats.Batches++
+		return nil
+	}
+	delta := graph.NewDelta(d.g)
+	var attrUps []Update
+	attrSeen := map[int32]bool{}
+	for i, up := range batch {
+		var err error
+		switch up.Op {
+		case OpAddVertex:
+			delta.AddVertex()
+		case OpAddEdge:
+			err = delta.AddEdge(up.U, up.V)
+		case OpRemoveEdge:
+			err = delta.RemoveEdge(up.U, up.V)
+		case OpSetAttributes:
+			if up.U < 0 || int(up.U) >= delta.N() {
+				err = fmt.Errorf("krcore: vertex %d out of range [0,%d)", up.U, delta.N())
+			} else {
+				attrUps = append(attrUps, up)
+				attrSeen[up.U] = true
+			}
+		default:
+			err = fmt.Errorf("krcore: unknown update op %d", up.Op)
+		}
+		if err != nil {
+			return fmt.Errorf("krcore: update %d (%s): %w", i, up.Op, err)
+		}
+	}
+	d.stats.Batches++
+	d.stats.Updates += int64(len(batch))
+	if delta.Empty() && len(attrUps) == 0 {
+		return nil // effective no-op: keep the current snapshot
+	}
+	add, del := delta.Diff()
+	grown := delta.N() > d.g.N()
+	g2 := d.g.Apply(delta)
+	if grown {
+		d.attrs.Grow(g2.N())
+	}
+	attrVerts := make([]int32, 0, len(attrSeen))
+	for _, up := range attrUps {
+		if attrSeen[up.U] {
+			attrSeen[up.U] = false
+			attrVerts = append(attrVerts, up.U)
+		}
+		d.attrs.SetAttributes(up.U, up.Attrs)
+	}
+	touched := make([]bool, g2.N())
+	for _, v := range delta.Touched() {
+		touched[v] = true
+	}
+	for _, u := range attrVerts {
+		touched[u] = true
+	}
+	ne, ast := d.eng.advance(advanceDelta{
+		g2:        g2,
+		addPairs:  add,
+		delPairs:  del,
+		attrVerts: attrVerts,
+		grown:     grown,
+		touched:   touched,
+	})
+	d.g, d.eng = g2, ne
+	d.stats.Version++
+	d.stats.IndexesKept += int64(ast.indexesKept)
+	d.stats.IndexesRebuilt += int64(ast.indexesRebuilt)
+	d.stats.ComponentsReused += int64(ast.componentsReused)
+	d.stats.ComponentsRebuilt += int64(ast.componentsRebuilt)
+	return nil
+}
+
+// Graph returns the current immutable graph snapshot. It stays valid
+// (and unchanged) however many updates follow.
+func (d *DynamicEngine) Graph() *Graph {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.g
+}
+
+// N returns the current vertex count.
+func (d *DynamicEngine) N() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.g.N()
+}
+
+// M returns the current undirected edge count.
+func (d *DynamicEngine) M() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.g.M()
+}
+
+// Enumerate returns all maximal (k,r)-cores of the current snapshot
+// (see Engine.Enumerate).
+func (d *DynamicEngine) Enumerate(k int, r float64, opt EnumOptions) (*Result, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.eng.Enumerate(k, r, opt)
+}
+
+// EnumerateContaining returns the maximal (k,r)-cores containing v in
+// the current snapshot (see Engine.EnumerateContaining).
+func (d *DynamicEngine) EnumerateContaining(k int, r float64, v int32, opt EnumOptions) (*Result, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.eng.EnumerateContaining(k, r, v, opt)
+}
+
+// FindMaximum returns the maximum (k,r)-core of the current snapshot
+// (see Engine.FindMaximum).
+func (d *DynamicEngine) FindMaximum(k int, r float64, opt MaxOptions) (*Result, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.eng.FindMaximum(k, r, opt)
+}
+
+// Warm prepares the (k,r) setting ahead of traffic; subsequent updates
+// keep it prepared through scoped invalidation.
+func (d *DynamicEngine) Warm(k int, r float64) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.eng.Warm(k, r)
+}
+
+// Oracle returns the current snapshot's similarity oracle at threshold
+// r (see Engine.Oracle).
+func (d *DynamicEngine) Oracle(r float64) (*Oracle, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.eng.Oracle(r)
+}
+
+// Stats reports the serving cache counters. Hit and miss counts carry
+// across updates, so Hits+Misses always equals the number of queries
+// answered since construction.
+func (d *DynamicEngine) Stats() EngineStats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.eng.Stats()
+}
+
+// DynamicStats reports update activity and invalidation reuse counters.
+func (d *DynamicEngine) DynamicStats() DynamicStats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.stats
+}

@@ -1,0 +1,474 @@
+package krcore
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// ---------------------------------------------------------------------
+// Differential test harness: apply random mutation sequences to a
+// DynamicEngine and assert after every step that Enumerate/FindMaximum
+// results are bit-identical (same cores, same sizes) to a fresh
+// NewEngine built from the mutated graph, across Euclidean and Jaccard
+// metrics and several (k,r) presets. The race CI job runs this under
+// -race.
+// ---------------------------------------------------------------------
+
+// diffSteps is the mutation count per metric; the acceptance bar is
+// >= 500 randomized steps (reduced under -short for quick local runs).
+func diffSteps(t *testing.T) int {
+	if testing.Short() {
+		return 120
+	}
+	return 500
+}
+
+// dynMirror is the ground truth a DynamicEngine run is checked against:
+// the plain edge set and per-vertex attributes, rebuilt into a fresh
+// Engine after every step.
+type dynMirror struct {
+	n     int
+	edges map[[2]int32]bool
+	attrs []VertexAttributes
+}
+
+func normPair(u, v int32) [2]int32 {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int32{u, v}
+}
+
+// apply replicates ApplyBatch's semantics (in-order, last op wins) on
+// the mirror. Only called for batches the engine accepted.
+func (m *dynMirror) apply(ups []Update) {
+	for _, up := range ups {
+		switch up.Op {
+		case OpAddVertex:
+			m.n++
+			m.attrs = append(m.attrs, VertexAttributes{})
+		case OpAddEdge:
+			m.edges[normPair(up.U, up.V)] = true
+		case OpRemoveEdge:
+			delete(m.edges, normPair(up.U, up.V))
+		case OpSetAttributes:
+			m.attrs[up.U] = up.Attrs
+		}
+	}
+}
+
+// graph builds the mirror's current graph.
+func (m *dynMirror) graph() *Graph {
+	b := NewGraphBuilder(m.n)
+	for e := range m.edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// sortedEdges returns the mirror's edges in deterministic order (map
+// iteration is randomized; random picks must come from the rng alone).
+func (m *dynMirror) sortedEdges() [][2]int32 {
+	out := make([][2]int32, 0, len(m.edges))
+	for e := range m.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// diffMetric describes one metric flavour of the harness. Attributes
+// are drawn per cluster (the same clusters the edge generator favours),
+// so dense similar groups — and therefore non-trivial cores — exist.
+type diffMetric struct {
+	name    string
+	presets []struct {
+		k int
+		r float64
+	}
+	newStore func() DynamicAttributes
+	randAttr func(rng *rand.Rand, cluster int) VertexAttributes
+}
+
+// diffClusters is the number of planted clusters in the harness
+// instances; vertex u belongs to cluster u % diffClusters.
+const diffClusters = 4
+
+// diffMetrics returns the Euclidean and Jaccard harness configurations.
+func diffMetrics() []diffMetric {
+	geoAttr := func(rng *rand.Rand, cluster int) VertexAttributes {
+		c := [][2]float64{{0, 0}, {10, 0}, {5, 9}, {35, 35}}[cluster%4]
+		return VertexAttributes{X: c[0] + rng.NormFloat64()*2.5, Y: c[1] + rng.NormFloat64()*2.5}
+	}
+	kwAttr := func(rng *rand.Rand, cluster int) VertexAttributes {
+		topic := int32(cluster%4) * 8
+		keys := make([]int32, 0, 4)
+		for len(keys) < 4 {
+			if rng.Float64() < 0.8 {
+				keys = append(keys, topic+int32(rng.Intn(8)))
+			} else {
+				keys = append(keys, int32(rng.Intn(32)))
+			}
+		}
+		return VertexAttributes{Keys: keys}
+	}
+	return []diffMetric{
+		{
+			name: "euclidean",
+			presets: []struct {
+				k int
+				r float64
+			}{{2, 5}, {3, 9}, {4, 16}},
+			newStore: func() DynamicAttributes { return NewGeoAttributes(0) },
+			randAttr: geoAttr,
+		},
+		{
+			name: "jaccard",
+			presets: []struct {
+				k int
+				r float64
+			}{{2, 0.5}, {3, 0.3}, {2, 0.2}},
+			newStore: func() DynamicAttributes { return NewKeywordAttributes(0) },
+			randAttr: kwAttr,
+		},
+	}
+}
+
+// buildDiffInstance seeds the mirror with a clustered random instance.
+func buildDiffInstance(cfg diffMetric, rng *rand.Rand) *dynMirror {
+	const n = 56
+	m := &dynMirror{n: n, edges: map[[2]int32]bool{}, attrs: make([]VertexAttributes, n)}
+	for u := 0; u < n; u++ {
+		m.attrs[u] = cfg.randAttr(rng, u%diffClusters)
+	}
+	for i := 0; i < 3*n; i++ {
+		u := int32(rng.Intn(n))
+		// Bias endpoints toward the same residue class so dense similar
+		// clusters (and therefore non-trivial cores) exist.
+		v := int32((int(u) + 4*(1+rng.Intn(n/4))) % n)
+		if rng.Intn(4) == 0 {
+			v = int32(rng.Intn(n))
+		}
+		if u != v {
+			m.edges[normPair(u, v)] = true
+		}
+	}
+	return m
+}
+
+// freshEngine builds a from-scratch Engine over the mirror state.
+func freshEngine(cfg diffMetric, m *dynMirror) *Engine {
+	store := cfg.newStore()
+	store.Grow(m.n)
+	for u := 0; u < m.n; u++ {
+		store.SetAttributes(int32(u), m.attrs[u])
+	}
+	return NewEngine(m.graph(), store.Metric())
+}
+
+// randomBatch draws the next mutation batch for the harness.
+func randomBatch(cfg diffMetric, m *dynMirror, rng *rand.Rand) []Update {
+	edgeOp := func() Update {
+		roll := rng.Intn(100)
+		switch {
+		case roll < 55: // add a (mostly clustered) edge; duplicates allowed
+			u := int32(rng.Intn(m.n))
+			v := int32((int(u) + 4*(1+rng.Intn(m.n/4))) % m.n)
+			if rng.Intn(4) == 0 {
+				v = int32(rng.Intn(m.n))
+			}
+			if u == v {
+				v = (v + 1) % int32(m.n)
+			}
+			return AddEdgeUpdate(u, v)
+		case roll < 90: // remove an existing edge when possible
+			if es := m.sortedEdges(); len(es) > 0 {
+				e := es[rng.Intn(len(es))]
+				return RemoveEdgeUpdate(e[0], e[1])
+			}
+			fallthrough
+		default: // remove a random (often missing) edge: a no-op is legal
+			u := int32(rng.Intn(m.n))
+			v := (u + 1 + int32(rng.Intn(m.n-1))) % int32(m.n)
+			return RemoveEdgeUpdate(u, v)
+		}
+	}
+	churn := func() Update {
+		u := rng.Intn(m.n)
+		cluster := u % diffClusters
+		if rng.Intn(5) == 0 {
+			cluster = rng.Intn(diffClusters) // the vertex moves community
+		}
+		return SetAttributesUpdate(int32(u), cfg.randAttr(rng, cluster))
+	}
+	switch roll := rng.Intn(100); {
+	case roll < 60:
+		return []Update{edgeOp()}
+	case roll < 75: // attribute churn
+		return []Update{churn()}
+	case roll < 83 && m.n < 90: // grow: new vertex wired into a cluster
+		nv := int32(m.n)
+		return []Update{
+			AddVertexUpdate(),
+			SetAttributesUpdate(nv, cfg.randAttr(rng, int(nv)%diffClusters)),
+			AddEdgeUpdate(nv, int32(rng.Intn(m.n))),
+			AddEdgeUpdate(nv, int32(rng.Intn(m.n))),
+		}
+	default: // mixed batch
+		ups := []Update{edgeOp(), edgeOp()}
+		if rng.Intn(2) == 0 {
+			ups = append(ups, churn())
+		}
+		return ups
+	}
+}
+
+// sameResult asserts bit-identical cores and summary statistics.
+func sameResult(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if fmt.Sprint(got.Cores) != fmt.Sprint(want.Cores) {
+		t.Fatalf("%s: cores diverged:\ndynamic: %v\nfresh:   %v", label, got.Cores, want.Cores)
+	}
+	gs, ws := got.Summarize(), want.Summarize()
+	if gs.Count != ws.Count || gs.MaxSize != ws.MaxSize || gs.AvgSize != ws.AvgSize {
+		t.Fatalf("%s: stats diverged: dynamic %+v, fresh %+v", label, gs, ws)
+	}
+}
+
+// TestDynamicEngineDifferential is the harness entry point: one
+// subtest per metric, >= 500 randomized mutation steps each, full
+// result comparison against from-scratch rebuilds after every step.
+func TestDynamicEngineDifferential(t *testing.T) {
+	for _, cfg := range diffMetrics() {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(2026))
+			m := buildDiffInstance(cfg, rng)
+			store := cfg.newStore()
+			store.Grow(m.n)
+			for u := 0; u < m.n; u++ {
+				store.SetAttributes(int32(u), m.attrs[u])
+			}
+			eng, err := NewDynamicEngine(m.graph(), store)
+			if err != nil {
+				t.Fatal(err)
+			}
+			steps := diffSteps(t)
+			for step := 0; step < steps; step++ {
+				batch := randomBatch(cfg, m, rng)
+				if err := eng.ApplyBatch(batch); err != nil {
+					t.Fatalf("step %d: ApplyBatch(%v): %v", step, batch, err)
+				}
+				m.apply(batch)
+				if eng.N() != m.n || eng.M() != len(m.edges) {
+					t.Fatalf("step %d: engine N=%d M=%d, mirror N=%d M=%d",
+						step, eng.N(), eng.M(), m.n, len(m.edges))
+				}
+				fresh := freshEngine(cfg, m)
+				for _, p := range cfg.presets {
+					label := fmt.Sprintf("step %d (k=%d, r=%g)", step, p.k, p.r)
+					de, err := eng.Enumerate(p.k, p.r, EnumOptions{})
+					if err != nil {
+						t.Fatalf("%s: dynamic enum: %v", label, err)
+					}
+					fe, err := fresh.Enumerate(p.k, p.r, EnumOptions{})
+					if err != nil {
+						t.Fatalf("%s: fresh enum: %v", label, err)
+					}
+					sameResult(t, label+" enum", de, fe)
+					dm, err := eng.FindMaximum(p.k, p.r, MaxOptions{})
+					if err != nil {
+						t.Fatalf("%s: dynamic max: %v", label, err)
+					}
+					fm, err := fresh.FindMaximum(p.k, p.r, MaxOptions{})
+					if err != nil {
+						t.Fatalf("%s: fresh max: %v", label, err)
+					}
+					sameResult(t, label+" max", dm, fm)
+				}
+			}
+			ds := eng.DynamicStats()
+			if ds.Version == 0 || ds.Updates == 0 {
+				t.Fatalf("no updates recorded: %+v", ds)
+			}
+			if ds.ComponentsReused == 0 || ds.IndexesKept == 0 {
+				t.Fatalf("scoped invalidation never reused anything: %+v", ds)
+			}
+			t.Logf("%s: %d steps, stats %+v", cfg.name, steps, ds)
+		})
+	}
+}
+
+// TestDynamicEngineValidation covers the mutation error paths: invalid
+// updates must be rejected atomically, leaving the snapshot untouched.
+func TestDynamicEngineValidation(t *testing.T) {
+	b := NewGraphBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	geo := NewGeoAttributes(4)
+	eng, err := NewDynamicEngine(b.Build(), geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDynamicEngine(nil, geo); err == nil {
+		t.Fatal("nil graph must be rejected")
+	}
+	if _, err := NewDynamicEngine(b.Build(), nil); err == nil {
+		t.Fatal("nil attribute store must be rejected")
+	}
+	if err := eng.AddEdge(0, 0); err == nil {
+		t.Fatal("self-loop must be rejected")
+	}
+	if err := eng.AddEdge(0, 9); err == nil {
+		t.Fatal("out-of-range endpoint must be rejected")
+	}
+	if err := eng.RemoveEdge(-1, 0); err == nil {
+		t.Fatal("negative endpoint must be rejected")
+	}
+	if err := eng.SetAttributes(17, VertexAttributes{}); err == nil {
+		t.Fatal("out-of-range attribute vertex must be rejected")
+	}
+	if err := eng.ApplyBatch([]Update{{Op: UpdateOp(99)}}); err == nil {
+		t.Fatal("unknown op must be rejected")
+	}
+	// A batch failing halfway must not apply its earlier updates.
+	before := eng.M()
+	if err := eng.ApplyBatch([]Update{AddEdgeUpdate(2, 3), AddEdgeUpdate(5, 6)}); err == nil {
+		t.Fatal("batch with invalid op must fail")
+	}
+	if eng.M() != before {
+		t.Fatal("failed batch partially applied")
+	}
+	// Empty batches and no-op updates succeed without a new version.
+	if err := eng.ApplyBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddEdge(0, 1); err != nil { // already present
+		t.Fatal(err)
+	}
+	if err := eng.RemoveEdge(2, 3); err != nil { // already absent
+		t.Fatal(err)
+	}
+	if ds := eng.DynamicStats(); ds.Version != 0 {
+		t.Fatalf("no-op updates published a version: %+v", ds)
+	}
+	// AddVertex returns the fresh id and grows the attribute store.
+	id, err := eng.AddVertex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 4 || eng.N() != 5 {
+		t.Fatalf("AddVertex: id=%d N=%d", id, eng.N())
+	}
+	if err := eng.SetAttributes(id, VertexAttributes{X: 1, Y: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDynamicEngineStatsCoherence is the regression stress for cache
+// counter / cache map coherence when invalidation races with concurrent
+// queries: 16 reader goroutines fire mixed queries while the writer
+// commits mutation batches. Run under -race in CI. Hits+Misses must
+// equal the exact number of queries answered, and the prepared-setting
+// count must match the queried grid — across however many snapshot
+// advances happened.
+func TestDynamicEngineStatsCoherence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cfg := diffMetrics()[0]
+	m := buildDiffInstance(cfg, rng)
+	store := cfg.newStore()
+	store.Grow(m.n)
+	for u := 0; u < m.n; u++ {
+		store.SetAttributes(int32(u), m.attrs[u])
+	}
+	eng, err := NewDynamicEngine(m.graph(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseN := m.n
+
+	const readers = 16
+	const queriesPerReader = 40
+	var queries atomic.Int64
+	var wg sync.WaitGroup
+	errc := make(chan error, readers)
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for q := 0; q < queriesPerReader; q++ {
+				p := cfg.presets[rng.Intn(len(cfg.presets))]
+				var err error
+				switch rng.Intn(3) {
+				case 0:
+					_, err = eng.Enumerate(p.k, p.r, EnumOptions{})
+				case 1:
+					_, err = eng.FindMaximum(p.k, p.r, MaxOptions{Parallelism: 2})
+				default:
+					_, err = eng.EnumerateContaining(p.k, p.r, int32(rng.Intn(baseN)), EnumOptions{})
+				}
+				if err != nil {
+					errc <- fmt.Errorf("reader %d: %v", w, err)
+					return
+				}
+				queries.Add(1)
+			}
+			errc <- nil
+		}(w)
+	}
+	// Writer: mutation batches racing the readers.
+	mutations := 0
+	for i := 0; i < 120; i++ {
+		batch := randomBatch(cfg, m, rng)
+		if err := eng.ApplyBatch(batch); err != nil {
+			t.Fatalf("mutation %d: %v", i, err)
+		}
+		m.apply(batch)
+		mutations++
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats()
+	if st.Hits+st.Misses != queries.Load() {
+		t.Fatalf("hit/miss counters diverged from query count across invalidation: %+v, queries=%d",
+			st, queries.Load())
+	}
+	if st.Prepared != len(cfg.presets) {
+		t.Fatalf("prepared settings = %d, want %d: %+v", st.Prepared, len(cfg.presets), st)
+	}
+	if st.Thresholds != len(cfg.presets) { // presets use distinct r values
+		t.Fatalf("thresholds = %d, want %d: %+v", st.Thresholds, len(cfg.presets), st)
+	}
+	if ds := eng.DynamicStats(); ds.Batches != int64(mutations) {
+		t.Fatalf("batches = %d, want %d", ds.Batches, mutations)
+	}
+	// Final differential check at the settled state.
+	fresh := freshEngine(cfg, m)
+	for _, p := range cfg.presets {
+		de, err := eng.Enumerate(p.k, p.r, EnumOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fe, err := fresh.Enumerate(p.k, p.r, EnumOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, fmt.Sprintf("final (k=%d, r=%g)", p.k, p.r), de, fe)
+	}
+}

@@ -1,0 +1,118 @@
+package krcore
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzDynamicApply decodes arbitrary byte streams into update batches
+// for a DynamicEngine — including duplicate edges, self-loops,
+// out-of-range vertex ids and empty batches — and requires that every
+// batch either applies atomically or errors (never panics), that the
+// accepted updates keep the engine's graph consistent with a plain
+// mirror, and that query results after the stream equal a fresh Engine
+// built from the mirrored state.
+func FuzzDynamicApply(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 1, 0, 0, 1, 1, 0, 1})  // duplicate edge, both orders
+	f.Add([]byte{0, 3, 3})                    // self-loop
+	f.Add([]byte{4, 200, 9, 4, 9, 200})       // out-of-range raw ids
+	f.Add([]byte{5, 0, 0, 5, 0, 0})           // empty batches
+	f.Add([]byte{2, 0, 0, 0, 8, 0, 1, 8, 3})  // grow then wire the new vertex
+	f.Add([]byte{3, 1, 40, 1, 0, 1, 0, 4, 5}) // attr move + removals
+	f.Add([]byte{0, 0, 1, 3, 0, 99, 1, 0, 1, 2, 0, 0, 0, 8, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n0 = 8
+		m := &dynMirror{n: n0, edges: map[[2]int32]bool{}, attrs: make([]VertexAttributes, n0)}
+		for u := 0; u < n0; u++ {
+			m.attrs[u] = VertexAttributes{X: float64(u % 4), Y: float64(u / 4)}
+			m.edges[normPair(int32(u), int32((u+1)%n0))] = true
+			m.edges[normPair(int32(u), int32((u+2)%n0))] = true
+		}
+		store := NewGeoAttributes(0)
+		store.Grow(m.n)
+		for u := 0; u < m.n; u++ {
+			store.SetAttributes(int32(u), m.attrs[u])
+		}
+		eng, err := NewDynamicEngine(m.graph(), store)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		ops := 0
+		for i := 0; i+2 < len(data) && ops < 60; i += 3 {
+			op, a, b := data[i], data[i+1], data[i+2]
+			var batch []Update
+			switch op % 6 {
+			case 0: // add edge, endpoints reduced into range
+				batch = []Update{AddEdgeUpdate(int32(int(a)%m.n), int32(int(b)%m.n))}
+			case 1: // remove edge, endpoints reduced into range
+				batch = []Update{RemoveEdgeUpdate(int32(int(a)%m.n), int32(int(b)%m.n))}
+			case 2: // grow and wire the new vertex
+				if m.n >= 24 {
+					continue
+				}
+				nv := int32(m.n)
+				batch = []Update{
+					AddVertexUpdate(),
+					SetAttributesUpdate(nv, VertexAttributes{X: float64(a % 8), Y: float64(b % 8)}),
+					AddEdgeUpdate(nv, int32(int(a)%m.n)),
+				}
+			case 3: // attribute move
+				batch = []Update{SetAttributesUpdate(int32(int(a)%m.n), VertexAttributes{
+					X: float64(b%16) - 4, Y: float64(b/16) - 4,
+				})}
+			case 4: // raw ids: may be out of range or self-looping
+				batch = []Update{AddEdgeUpdate(int32(a), int32(b))}
+			default: // empty batch
+				batch = nil
+			}
+			// An error is legal only for single edge ops with invalid
+			// endpoints (self-loop or out of range); anything else the
+			// engine must accept, and accepted batches go to the mirror.
+			if err := eng.ApplyBatch(batch); err == nil {
+				m.apply(batch)
+			} else if len(batch) == 1 && (batch[0].Op == OpAddEdge || batch[0].Op == OpRemoveEdge) {
+				u, v := batch[0].U, batch[0].V
+				if u != v && u >= 0 && v >= 0 && int(u) < m.n && int(v) < m.n {
+					t.Fatalf("valid edge op (%d,%d) rejected: %v", u, v, err)
+				}
+			} else {
+				t.Fatalf("valid batch rejected: %v", err)
+			}
+			ops++
+			if eng.N() != m.n || eng.M() != len(m.edges) {
+				t.Fatalf("engine N=%d M=%d, mirror N=%d M=%d", eng.N(), eng.M(), m.n, len(m.edges))
+			}
+		}
+
+		// Differential check at the settled state.
+		fresh := freshEngineGeo(m)
+		for _, p := range []struct {
+			k int
+			r float64
+		}{{2, 1.6}, {3, 3.2}} {
+			de, err := eng.Enumerate(p.k, p.r, EnumOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fe, err := fresh.Enumerate(p.k, p.r, EnumOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(de.Cores) != fmt.Sprint(fe.Cores) {
+				t.Fatalf("(k=%d, r=%g): dynamic %v != fresh %v", p.k, p.r, de.Cores, fe.Cores)
+			}
+		}
+	})
+}
+
+// freshEngineGeo rebuilds a from-scratch geo Engine over the mirror.
+func freshEngineGeo(m *dynMirror) *Engine {
+	store := NewGeoAttributes(0)
+	store.Grow(m.n)
+	for u := 0; u < m.n; u++ {
+		store.SetAttributes(int32(u), m.attrs[u])
+	}
+	return NewEngine(m.graph(), store.Metric())
+}

@@ -84,6 +84,14 @@ func (s *Keywords) SetVertex(u int32, kws []int32) {
 	s.keys = append(s.keys, kws...)
 }
 
+// Grow extends the store to n vertices with empty keyword sets (no-op
+// when already at least that large).
+func (s *Keywords) Grow(n int) {
+	for len(s.spans) < n {
+		s.spans = append(s.spans, span{})
+	}
+}
+
 // Vertex returns the sorted keyword set of u (a view into the backing
 // slice; do not modify).
 func (s *Keywords) Vertex(u int32) []int32 {
@@ -173,6 +181,14 @@ func (s *Weighted) SetVertex(u int32, entries []WeightedEntry) {
 	s.spans[u] = sp
 }
 
+// Grow extends the store to n vertices with empty lists (no-op when
+// already at least that large).
+func (s *Weighted) Grow(n int) {
+	for len(s.spans) < n {
+		s.spans = append(s.spans, span{})
+	}
+}
+
 // Vertex returns the sorted weighted keyword list of u as a freshly
 // allocated slice (the store itself keeps keys and weights in parallel
 // backing arrays).
@@ -259,6 +275,14 @@ func NewGeo(n int) *Geo {
 
 // SetVertex assigns the location of u.
 func (s *Geo) SetVertex(u int32, p Point) { s.pts[u] = p }
+
+// Grow extends the store to n vertices at the origin (no-op when
+// already at least that large).
+func (s *Geo) Grow(n int) {
+	for len(s.pts) < n {
+		s.pts = append(s.pts, Point{})
+	}
+}
 
 // Vertex returns the location of u.
 func (s *Geo) Vertex(u int32) Point { return s.pts[u] }

@@ -129,3 +129,40 @@ func TestKindString(t *testing.T) {
 		t.Fatal("Kind.String() wrong")
 	}
 }
+
+// TestGrow covers the dynamic-engine growth path of all three stores:
+// growth preserves existing attributes, new vertices are zero-valued,
+// and shrinking requests are no-ops.
+func TestGrow(t *testing.T) {
+	kw := NewKeywords(2)
+	kw.SetVertex(1, []int32{3, 1})
+	kw.Grow(4)
+	if kw.N() != 4 || len(kw.Vertex(3)) != 0 {
+		t.Fatalf("Keywords.Grow: N=%d, v3=%v", kw.N(), kw.Vertex(3))
+	}
+	if got := kw.Vertex(1); len(got) != 2 || got[0] != 1 {
+		t.Fatalf("Keywords.Grow lost attributes: %v", got)
+	}
+	kw.SetVertex(3, []int32{7})
+	if kw.Len(3) != 1 {
+		t.Fatal("grown vertex not assignable")
+	}
+	kw.Grow(1)
+	if kw.N() != 4 {
+		t.Fatal("Grow must never shrink")
+	}
+
+	ww := NewWeighted(1)
+	ww.SetVertex(0, []WeightedEntry{{Key: 2, Weight: 3}})
+	ww.Grow(3)
+	if ww.N() != 3 || ww.Len(2) != 0 || ww.Len(0) != 1 {
+		t.Fatalf("Weighted.Grow: N=%d", ww.N())
+	}
+
+	geo := NewGeo(1)
+	geo.SetVertex(0, Point{X: 5, Y: 6})
+	geo.Grow(3)
+	if geo.N() != 3 || geo.Vertex(2) != (Point{}) || geo.Vertex(0) != (Point{X: 5, Y: 6}) {
+		t.Fatalf("Geo.Grow: N=%d v0=%v v2=%v", geo.N(), geo.Vertex(0), geo.Vertex(2))
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sort"
+
+	"krcore/internal/graph"
+	"krcore/internal/kcore"
+	"krcore/internal/similarity"
+	"krcore/internal/simindex"
+)
+
+// PatchStats reports how much prepared state a PatchPrepared call
+// carried over versus rebuilt.
+type PatchStats struct {
+	// Reused counts candidate components taken verbatim from the old
+	// Prepared (identical vertex set, no touched member).
+	Reused int
+	// Rebuilt counts candidate components reconstructed from the new
+	// filtered graph.
+	Rebuilt int
+}
+
+// PatchPrepared rebuilds the candidate components of a (k,r) problem
+// for a mutated filtered graph, reusing every component of old that the
+// mutation provably left intact. It recomputes the structural part from
+// scratch — the k-core of the new filtered graph and its connected
+// components, O(n+m) — but a component whose vertex set is unchanged
+// and contains no touched vertex keeps its existing problem object,
+// including the dissimilarity lists that would otherwise cost bulk
+// similarity work to rebuild.
+//
+// filtered must already be dissimilar-edge-filtered under p.Oracle
+// (see simgraph.PatchFiltered for the incremental way to maintain it).
+// touched[v] marks the vertices whose incident structure or attributes
+// changed; it must cover both endpoints of every edge added to or
+// removed from the filtered graph and every vertex whose attributes
+// changed, and its length must be filtered.N(). p must carry the same K
+// as old and an oracle that agrees with old's on untouched vertex
+// pairs. Under those contracts the result is bit-identical to
+// PrepareFiltered(filtered, p).
+func PatchPrepared(old *Prepared, filtered *graph.Graph, p Params, touched []bool) (*Prepared, PatchStats, error) {
+	var st PatchStats
+	if err := p.validate(); err != nil {
+		return nil, st, err
+	}
+	pr := &Prepared{p: p, n: filtered.N()}
+	// Components are sorted ascending, so the smallest member identifies
+	// a candidate old component in O(1).
+	oldByMin := make(map[int32]*problem, len(old.probs))
+	for _, ob := range old.probs {
+		if len(ob.orig) > 0 {
+			oldByMin[ob.orig[0]] = ob
+		}
+	}
+	var src similarity.BulkSource // built lazily: only rebuilt components need it
+	kc := kcore.KCore(filtered, p.K)
+	if len(kc) == 0 {
+		return pr, st, nil
+	}
+	for _, comp := range filtered.ComponentsOf(kc) {
+		if len(comp) < p.K+1 {
+			continue
+		}
+		if ob := oldByMin[comp[0]]; ob != nil && reusable(ob, comp, touched) {
+			pr.probs = append(pr.probs, ob)
+			st.Reused++
+			continue
+		}
+		if src == nil {
+			src = simindex.For(p.Oracle)
+		}
+		pr.probs = append(pr.probs, buildProblem(filtered, src, p, comp))
+		st.Rebuilt++
+	}
+	pr.byDeg = append([]*problem(nil), pr.probs...)
+	sort.SliceStable(pr.byDeg, func(i, j int) bool { return pr.byDeg[i].maxDeg > pr.byDeg[j].maxDeg })
+	return pr, st, nil
+}
+
+// reusable reports whether the old problem covers exactly the new
+// component with no touched member. Equal vertex sequences imply equal
+// local ids; no touched member implies identical induced adjacency
+// (every changed filtered edge has a touched endpoint, so a changed
+// internal edge would mark a member) and identical dissimilarity lists
+// (attribute changes mark their vertex).
+func reusable(ob *problem, comp []int32, touched []bool) bool {
+	if len(ob.orig) != len(comp) {
+		return false
+	}
+	for i, v := range comp {
+		if ob.orig[i] != v || touched[v] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"krcore/internal/attr"
+	"krcore/internal/graph"
+	"krcore/internal/similarity"
+)
+
+// twoClusters builds two dense geo clusters far apart: each is its own
+// candidate component at small r.
+func twoClusters() (*graph.Graph, *similarity.Oracle) {
+	const half = 6
+	store := attr.NewGeo(2 * half)
+	b := graph.NewBuilder(2 * half)
+	for c := 0; c < 2; c++ {
+		base := c * half
+		for i := 0; i < half; i++ {
+			store.SetVertex(int32(base+i), attr.Point{X: float64(c) * 100, Y: float64(i)})
+			for j := i + 1; j < half; j++ {
+				b.AddEdge(int32(base+i), int32(base+j))
+			}
+		}
+	}
+	b.AddEdge(0, half) // structural bridge, dissimilar at r=20
+	return b.Build(), similarity.NewOracle(similarity.Euclidean{Store: store}, 20)
+}
+
+func TestPatchPreparedReusesUntouchedComponent(t *testing.T) {
+	g, oracle := twoClusters()
+	p := Params{K: 2, Oracle: oracle}
+	filtered := FilterDissimilar(g, p.Oracle)
+	pr, err := PrepareFiltered(filtered, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Components() != 2 {
+		t.Fatalf("want 2 candidate components, got %d", pr.Components())
+	}
+
+	// Remove one edge inside the second cluster (vertices 6..11).
+	d := graph.NewDelta(filtered)
+	if err := d.RemoveEdge(6, 7); err != nil {
+		t.Fatal(err)
+	}
+	filtered2 := filtered.Apply(d)
+	touched := make([]bool, filtered2.N())
+	touched[6], touched[7] = true, true
+
+	pr2, st, err := PatchPrepared(pr, filtered2, p, touched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reused != 1 || st.Rebuilt != 1 {
+		t.Fatalf("stats = %+v, want 1 reused + 1 rebuilt", st)
+	}
+	// The untouched first cluster keeps its problem object.
+	if pr2.probs[0] != pr.probs[0] {
+		t.Fatal("untouched component was rebuilt instead of reused")
+	}
+	// Results must equal a from-scratch preparation.
+	fresh, err := PrepareFiltered(filtered2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := pr2.Enumerate(EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fresh.Enumerate(EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(a.Cores) != fmt.Sprint(b.Cores) {
+		t.Fatalf("patched %v != fresh %v", a.Cores, b.Cores)
+	}
+}
+
+// TestPatchPreparedRandomized drives random filtered-graph mutations
+// (touching edges only, attributes fixed) and checks the patched
+// Prepared is bit-identical to a fresh preparation: same enumeration,
+// same maximum.
+func TestPatchPreparedRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		n := 12 + rng.Intn(24)
+		store := attr.NewGeo(n)
+		for u := 0; u < n; u++ {
+			store.SetVertex(int32(u), attr.Point{X: rng.Float64() * 25, Y: rng.Float64() * 25})
+		}
+		oracle := similarity.NewOracle(similarity.Euclidean{Store: store}, 6+rng.Float64()*8)
+		p := Params{K: 1 + rng.Intn(3), Oracle: oracle}
+		b := graph.NewBuilder(n)
+		for i := 0; i < 4*n; i++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		filtered := FilterDissimilar(g, oracle)
+		pr, err := PrepareFiltered(filtered, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 5; step++ {
+			d := graph.NewDelta(filtered)
+			for op := 0; op < 1+rng.Intn(4); op++ {
+				u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+				if u == v {
+					continue
+				}
+				// Only similar pairs may enter a filtered graph.
+				if rng.Intn(2) == 0 && oracle.Similar(u, v) {
+					if err := d.AddEdge(u, v); err != nil {
+						t.Fatal(err)
+					}
+				} else if err := d.RemoveEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			filtered2 := filtered.Apply(d)
+			touched := make([]bool, n)
+			for _, v := range d.Touched() {
+				touched[v] = true
+			}
+			pr2, _, err := PatchPrepared(pr, filtered2, p, touched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := PrepareFiltered(filtered2, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pe, err := pr2.Enumerate(EnumOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fe, err := fresh.Enumerate(EnumOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(pe.Cores) != fmt.Sprint(fe.Cores) {
+				t.Fatalf("trial %d step %d: patched enum %v != fresh %v", trial, step, pe.Cores, fe.Cores)
+			}
+			pm, err := pr2.FindMaximum(MaxOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fm, err := fresh.FindMaximum(MaxOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(pm.Cores) != fmt.Sprint(fm.Cores) {
+				t.Fatalf("trial %d step %d: patched max %v != fresh %v", trial, step, pm.Cores, fm.Cores)
+			}
+			filtered, pr = filtered2, pr2
+		}
+	}
+}

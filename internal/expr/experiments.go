@@ -45,6 +45,8 @@ var Experiments = []Experiment{
 	// Beyond the paper: serving-layer measurements (PR 2).
 	{"engine", "serving engine cache-hit speedup (all presets)", EngineCache},
 	{"parmax", "parallel AdvMax scaling across components (all presets)", ParallelMax},
+	// Beyond the paper: dynamic-update maintenance (PR 3).
+	{"updates", "incremental update latency vs full rebuild (all presets)", DynamicUpdates},
 }
 
 // Find returns the experiment with the given id, or nil.

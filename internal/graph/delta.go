@@ -1,0 +1,205 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Delta records a batch of mutations against a base graph: edge
+// insertions, edge removals and vertex additions. Operations use set
+// semantics — the last recorded operation for a pair decides whether the
+// edge is present after Apply, so adding an existing edge or removing a
+// missing one is a harmless no-op. Unlike Builder (a bulk-loading path
+// that panics on bad input), Delta is the serving-layer mutation path
+// and reports invalid operations as errors.
+//
+// A Delta is bound to the graph it was created from; Apply merges it
+// into a new immutable Graph that shares the adjacency lists of every
+// untouched vertex with the base, so a small batch costs O(n) for the
+// header array plus work proportional to the patched vertices only.
+type Delta struct {
+	base *Graph
+	n    int
+	want map[[2]int32]bool // normalized pair (u<v) -> desired presence
+}
+
+// NewDelta returns an empty Delta against the base graph.
+func NewDelta(base *Graph) *Delta {
+	return &Delta{base: base, n: base.N(), want: map[[2]int32]bool{}}
+}
+
+// N returns the vertex count after the recorded vertex additions.
+func (d *Delta) N() int { return d.n }
+
+// AddVertex appends one isolated vertex and returns its id. Edges to it
+// may be recorded in the same delta.
+func (d *Delta) AddVertex() int32 {
+	id := int32(d.n)
+	d.n++
+	return id
+}
+
+// Grow extends the vertex count to at least n (no-op when already
+// larger). Used when mirroring a delta onto a derived graph whose
+// vertex set must match another graph's.
+func (d *Delta) Grow(n int) {
+	if n > d.n {
+		d.n = n
+	}
+}
+
+// pair validates and normalizes an edge operation's endpoints.
+func (d *Delta) pair(u, v int32) ([2]int32, error) {
+	if u < 0 || int(u) >= d.n || v < 0 || int(v) >= d.n {
+		return [2]int32{}, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, d.n)
+	}
+	if u == v {
+		return [2]int32{}, fmt.Errorf("graph: self-loop (%d,%d) rejected", u, v)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int32{u, v}, nil
+}
+
+// AddEdge records that the edge (u,v) must exist after Apply.
+func (d *Delta) AddEdge(u, v int32) error {
+	p, err := d.pair(u, v)
+	if err != nil {
+		return err
+	}
+	d.want[p] = true
+	return nil
+}
+
+// RemoveEdge records that the edge (u,v) must not exist after Apply.
+func (d *Delta) RemoveEdge(u, v int32) error {
+	p, err := d.pair(u, v)
+	if err != nil {
+		return err
+	}
+	d.want[p] = false
+	return nil
+}
+
+// hasBase reports whether the pair is an edge of the base graph. Pairs
+// touching vertices added by this delta are never base edges.
+func (d *Delta) hasBase(p [2]int32) bool {
+	n := d.base.N()
+	return int(p[0]) < n && int(p[1]) < n && d.base.HasEdge(p[0], p[1])
+}
+
+// Diff resolves the recorded operations against the base graph and
+// returns the pairs whose presence actually changes: add lists edges to
+// insert (desired present, absent in the base), del lists edges to
+// remove. Both are normalized (u < v) and sorted for determinism.
+func (d *Delta) Diff() (add, del [][2]int32) {
+	for p, present := range d.want {
+		if present != d.hasBase(p) {
+			if present {
+				add = append(add, p)
+			} else {
+				del = append(del, p)
+			}
+		}
+	}
+	sortPairs(add)
+	sortPairs(del)
+	return add, del
+}
+
+// Empty reports whether Apply would return a graph identical to the
+// base: no effective edge change and no vertex growth.
+func (d *Delta) Empty() bool {
+	if d.n != d.base.N() {
+		return false
+	}
+	add, del := d.Diff()
+	return len(add) == 0 && len(del) == 0
+}
+
+// Touched returns the sorted distinct endpoints of the effective edge
+// changes — the vertices whose adjacency differs between the base and
+// the applied graph.
+func (d *Delta) Touched() []int32 {
+	add, del := d.Diff()
+	seen := map[int32]bool{}
+	var out []int32
+	note := func(v int32) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, p := range add {
+		note(p[0])
+		note(p[1])
+	}
+	for _, p := range del {
+		note(p[0])
+		note(p[1])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortPairs(ps [][2]int32) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i][0] != ps[j][0] {
+			return ps[i][0] < ps[j][0]
+		}
+		return ps[i][1] < ps[j][1]
+	})
+}
+
+// Apply merges the delta into a new immutable Graph. The delta must
+// have been created by NewDelta on g (Apply panics otherwise — mixing
+// graphs would silently corrupt the diff). The base graph is never
+// modified; untouched vertices share their adjacency slices with it.
+// When the delta is empty, Apply returns g itself.
+func (g *Graph) Apply(d *Delta) *Graph {
+	if d.base != g {
+		panic("graph: delta applied to a graph it was not built on")
+	}
+	add, del := d.Diff()
+	if len(add) == 0 && len(del) == 0 && d.n == len(g.adj) {
+		return g
+	}
+	adj := make([][]int32, d.n)
+	copy(adj, g.adj)
+	addBy := map[int32][]int32{}
+	delBy := map[int32]map[int32]bool{}
+	for _, p := range add {
+		addBy[p[0]] = append(addBy[p[0]], p[1])
+		addBy[p[1]] = append(addBy[p[1]], p[0])
+	}
+	for _, p := range del {
+		for _, s := range [2][2]int32{{p[0], p[1]}, {p[1], p[0]}} {
+			if delBy[s[0]] == nil {
+				delBy[s[0]] = map[int32]bool{}
+			}
+			delBy[s[0]][s[1]] = true
+		}
+	}
+	patched := map[int32]bool{}
+	for u := range addBy {
+		patched[u] = true
+	}
+	for u := range delBy {
+		patched[u] = true
+	}
+	for u := range patched {
+		old := adj[u]
+		drop := delBy[u]
+		nb := make([]int32, 0, len(old)+len(addBy[u]))
+		for _, v := range old {
+			if !drop[v] {
+				nb = append(nb, v)
+			}
+		}
+		nb = append(nb, addBy[u]...)
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		adj[u] = nb
+	}
+	return &Graph{adj: adj, m: g.m + len(add) - len(del)}
+}

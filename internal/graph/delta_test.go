@@ -1,0 +1,224 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// rebuildReference reconstructs the expected post-delta graph from
+// scratch with the Builder, given the base edges and the delta ops.
+func rebuildReference(n int, edges map[[2]int32]bool) *Graph {
+	b := NewBuilder(n)
+	for e, present := range edges {
+		if present {
+			b.AddEdge(e[0], e[1])
+		}
+	}
+	return b.Build()
+}
+
+func graphsEqual(a, b *Graph) error {
+	if a.N() != b.N() {
+		return fmt.Errorf("N: %d != %d", a.N(), b.N())
+	}
+	if a.M() != b.M() {
+		return fmt.Errorf("M: %d != %d", a.M(), b.M())
+	}
+	for u := 0; u < a.N(); u++ {
+		na, nb := a.Neighbors(int32(u)), b.Neighbors(int32(u))
+		if len(na) != len(nb) {
+			return fmt.Errorf("degree of %d: %d != %d", u, len(na), len(nb))
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				return fmt.Errorf("neighbors of %d differ: %v != %v", u, na, nb)
+			}
+		}
+	}
+	return nil
+}
+
+func TestDeltaApplyBasics(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+
+	d := NewDelta(g)
+	if err := d.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(1, 0); err != nil { // re-added after removal: last op wins
+		t.Fatal(err)
+	}
+	nv := d.AddVertex()
+	if nv != 4 {
+		t.Fatalf("AddVertex id = %d, want 4", nv)
+	}
+	if err := d.AddEdge(nv, 0); err != nil {
+		t.Fatal(err)
+	}
+	g2 := g.Apply(d)
+	want := rebuildReference(5, map[[2]int32]bool{
+		{0, 1}: true, {1, 2}: true, {2, 3}: true, {0, 4}: true,
+	})
+	if err := graphsEqual(g2, want); err != nil {
+		t.Fatal(err)
+	}
+	// The base graph must be untouched.
+	if g.N() != 4 || g.M() != 2 || !g.HasEdge(0, 1) {
+		t.Fatalf("base graph mutated: N=%d M=%d", g.N(), g.M())
+	}
+}
+
+func TestDeltaValidation(t *testing.T) {
+	g := NewBuilder(3).Build()
+	d := NewDelta(g)
+	if err := d.AddEdge(0, 3); err == nil {
+		t.Fatal("out-of-range endpoint must error")
+	}
+	if err := d.AddEdge(-1, 0); err == nil {
+		t.Fatal("negative endpoint must error")
+	}
+	if err := d.AddEdge(1, 1); err == nil {
+		t.Fatal("self-loop must error")
+	}
+	if err := d.RemoveEdge(0, 5); err == nil {
+		t.Fatal("out-of-range removal must error")
+	}
+	if !d.Empty() {
+		t.Fatal("failed operations must not dirty the delta")
+	}
+}
+
+func TestDeltaNoopSharing(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	d := NewDelta(g)
+	// Adding an existing edge and removing a missing one are no-ops.
+	if err := d.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() {
+		t.Fatal("no-op delta should be Empty")
+	}
+	if got := g.Apply(d); got != g {
+		t.Fatal("empty delta must return the base graph unchanged")
+	}
+}
+
+func TestDeltaDiffAndTouched(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	d := NewDelta(g)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(d.AddEdge(3, 4))
+	must(d.AddEdge(0, 1)) // already present: not in Diff
+	must(d.RemoveEdge(2, 3))
+	must(d.RemoveEdge(0, 4)) // already absent: not in Diff
+	add, del := d.Diff()
+	if fmt.Sprint(add) != "[[3 4]]" || fmt.Sprint(del) != "[[2 3]]" {
+		t.Fatalf("Diff = %v / %v", add, del)
+	}
+	if got := fmt.Sprint(d.Touched()); got != "[2 3 4]" {
+		t.Fatalf("Touched = %s", got)
+	}
+}
+
+func TestApplyWrongBasePanics(t *testing.T) {
+	g1 := NewBuilder(2).Build()
+	g2 := NewBuilder(2).Build()
+	d := NewDelta(g1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Apply on a foreign graph must panic")
+		}
+	}()
+	g2.Apply(d)
+}
+
+// TestDeltaRandomizedEquivalence cross-checks Apply against a
+// from-scratch Builder rebuild over many random mutation batches,
+// including chained deltas (apply, then mutate the result again).
+func TestDeltaRandomizedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(12)
+		edges := map[[2]int32]bool{}
+		b := NewBuilder(n)
+		for i := 0; i < rng.Intn(3*n); i++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			b.AddEdge(u, v)
+			edges[[2]int32{u, v}] = true
+		}
+		g := b.Build()
+		for step := 0; step < 4; step++ {
+			d := NewDelta(g)
+			for op := 0; op < rng.Intn(2*n)+1; op++ {
+				u, v := int32(rng.Intn(d.N())), int32(rng.Intn(d.N()))
+				switch rng.Intn(5) {
+				case 0:
+					nv := d.AddVertex()
+					if rng.Intn(2) == 0 && nv > 0 {
+						if err := d.AddEdge(nv, int32(rng.Intn(int(nv)))); err != nil {
+							t.Fatal(err)
+						}
+					}
+				case 1, 2:
+					if u == v {
+						continue
+					}
+					if err := d.AddEdge(u, v); err != nil {
+						t.Fatal(err)
+					}
+				default:
+					if u == v {
+						continue
+					}
+					if err := d.RemoveEdge(u, v); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			// Mirror the delta's set semantics on the edge map.
+			mirror := map[[2]int32]bool{}
+			for e, p := range edges {
+				mirror[e] = p
+			}
+			add, del := d.Diff()
+			for _, p := range add {
+				mirror[p] = true
+			}
+			for _, p := range del {
+				mirror[p] = false
+			}
+			g2 := g.Apply(d)
+			want := rebuildReference(d.N(), mirror)
+			if err := graphsEqual(g2, want); err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+			g, edges = g2, mirror
+		}
+	}
+}

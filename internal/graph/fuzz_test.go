@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"testing"
+)
+
+// FuzzGraphBuilder feeds arbitrary byte streams through the two graph
+// construction paths — the bulk Builder and the mutation Delta — and
+// checks the structural invariants every algorithm in this repository
+// relies on: sorted deduplicated loop-free symmetric adjacency and a
+// consistent edge count. The Delta phase deliberately replays the raw
+// (possibly out-of-range, self-looping, duplicated) operations and
+// requires errors, never panics.
+func FuzzGraphBuilder(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 1, 1, 2, 2, 0})
+	f.Add([]byte{1, 0, 0})                   // self-loop
+	f.Add([]byte{4, 0, 1, 0, 1, 1, 0})       // duplicates both ways
+	f.Add([]byte{2, 0, 200, 255, 1, 7, 7})   // out-of-range + self-loop
+	f.Add([]byte{5, 0, 1, 1, 2, 2, 3, 3, 4}) // path
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := int(data[0]) % 24
+		ops := data[1:]
+
+		// Builder phase: endpoints reduced into range (the Builder's
+		// documented contract panics on out-of-range input).
+		b := NewBuilder(n)
+		if n > 0 {
+			for i := 0; i+1 < len(ops); i += 2 {
+				b.AddEdge(int32(int(ops[i])%n), int32(int(ops[i+1])%n))
+			}
+		}
+		g := b.Build()
+		checkInvariants(t, g)
+
+		// Delta phase: raw endpoints, alternating add/remove, plus
+		// occasional vertex additions. Invalid operations must come back
+		// as errors and leave the delta usable.
+		d := NewDelta(g)
+		for i := 0; i+1 < len(ops); i += 2 {
+			u, v := int32(ops[i]), int32(ops[i+1])
+			switch i / 2 % 4 {
+			case 0, 1:
+				_ = d.AddEdge(u, v)
+			case 2:
+				_ = d.RemoveEdge(u, v)
+			default:
+				if d.N() < 64 {
+					d.AddVertex()
+				}
+			}
+		}
+		g2 := g.Apply(d)
+		checkInvariants(t, g2)
+		if g2.N() != d.N() {
+			t.Fatalf("applied N = %d, want %d", g2.N(), d.N())
+		}
+		// Cross-check against a from-scratch rebuild of the same edge set.
+		ref := NewBuilder(g2.N())
+		g2.Edges(func(u, v int32) { ref.AddEdge(u, v) })
+		if err := graphsEqual(g2, ref.Build()); err != nil {
+			t.Fatalf("apply/rebuild mismatch: %v", err)
+		}
+	})
+}
+
+// checkInvariants asserts the Graph representation invariants.
+func checkInvariants(t *testing.T, g *Graph) {
+	t.Helper()
+	m := 0
+	for u := 0; u < g.N(); u++ {
+		nb := g.Neighbors(int32(u))
+		m += len(nb)
+		for i, v := range nb {
+			if v == int32(u) {
+				t.Fatalf("self-loop at %d", u)
+			}
+			if v < 0 || int(v) >= g.N() {
+				t.Fatalf("neighbor %d of %d out of range", v, u)
+			}
+			if i > 0 && nb[i-1] >= v {
+				t.Fatalf("neighbors of %d not sorted/deduplicated: %v", u, nb)
+			}
+			if !g.HasEdge(v, int32(u)) {
+				t.Fatalf("edge (%d,%d) not symmetric", u, v)
+			}
+		}
+	}
+	if m != 2*g.M() {
+		t.Fatalf("M() = %d but adjacency holds %d entries", g.M(), m)
+	}
+}

@@ -1,0 +1,65 @@
+package simgraph
+
+import (
+	"krcore/internal/graph"
+	"krcore/internal/similarity"
+)
+
+// PatchFiltered incrementally maintains a dissimilar-edge-filtered
+// graph (the output of filtering a base graph's edges through a
+// similarity oracle) across a mutation batch, consulting the bulk
+// similarity engine only for the new and changed pairs instead of
+// re-filtering all m edges.
+//
+// filtered is the filter of the pre-mutation graph; g2 is the
+// post-mutation graph; addPairs and delPairs are the effective edge
+// diff between them (normalized u < v, as produced by graph.Delta.Diff);
+// attrVerts lists the vertices whose attributes changed, so every g2
+// edge incident to one of them is re-classified under src. src must
+// answer similarity for the post-mutation attributes; the result is
+// identical to re-filtering g2 from scratch with src.
+func PatchFiltered(filtered *graph.Graph, src similarity.BulkSource, g2 *graph.Graph,
+	addPairs, delPairs [][2]int32, attrVerts []int32) *graph.Graph {
+	d := graph.NewDelta(filtered)
+	d.Grow(g2.N())
+	seen := map[[2]int32]bool{}
+	classify := make([][2]int32, 0, len(addPairs))
+	push := func(u, v int32) {
+		if u > v {
+			u, v = v, u
+		}
+		p := [2]int32{u, v}
+		if !seen[p] {
+			seen[p] = true
+			classify = append(classify, p)
+		}
+	}
+	for _, p := range addPairs {
+		push(p[0], p[1])
+	}
+	for _, u := range attrVerts {
+		for _, v := range g2.Neighbors(u) {
+			push(u, v)
+		}
+	}
+	keep := src.SimilarBatch(classify)
+	for i, p := range classify {
+		var err error
+		if keep[i] {
+			err = d.AddEdge(p[0], p[1])
+		} else {
+			err = d.RemoveEdge(p[0], p[1])
+		}
+		if err != nil {
+			// classify pairs are valid g2 edges (or effective additions),
+			// so a failure here is an internal invariant violation.
+			panic("simgraph: " + err.Error())
+		}
+	}
+	for _, p := range delPairs {
+		if err := d.RemoveEdge(p[0], p[1]); err != nil {
+			panic("simgraph: " + err.Error())
+		}
+	}
+	return filtered.Apply(d)
+}

@@ -195,3 +195,59 @@ func TestOracleSymmetry(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMetricNamesAndBulk covers the metric name surface and the bulk
+// engine attachment used by the serving layer.
+func TestMetricNamesAndBulk(t *testing.T) {
+	geo := attr.NewGeo(2)
+	kw := attr.NewKeywords(2)
+	ww := attr.NewWeighted(2)
+	names := map[string]Metric{
+		"euclidean":        Euclidean{Store: geo},
+		"jaccard":          Jaccard{Store: kw},
+		"weighted-jaccard": WeightedJaccard{Store: ww},
+	}
+	for want, m := range names {
+		if m.Name() != want {
+			t.Fatalf("Name() = %q, want %q", m.Name(), want)
+		}
+	}
+	o := NewOracle(Jaccard{Store: kw}, 0.5)
+	if o.Bulk() != nil {
+		t.Fatal("fresh oracle must have no bulk engine")
+	}
+	b := fakeBulk{}
+	o.SetBulk(b)
+	if o.Bulk() == nil {
+		t.Fatal("SetBulk did not attach")
+	}
+}
+
+type fakeBulk struct{}
+
+func (fakeBulk) SimilarAdjacency(vs []int32) [][]int32 { return make([][]int32, len(vs)) }
+func (fakeBulk) SimilarBatch(ps [][2]int32) []bool     { return make([]bool, len(ps)) }
+
+// TestTopPermilleClamping covers the clamping and tiny-graph branches.
+func TestTopPermilleClamping(t *testing.T) {
+	kw := attr.NewKeywords(3)
+	for u := 0; u < 3; u++ {
+		kw.SetVertex(int32(u), []int32{int32(u), 5})
+	}
+	m := Jaccard{Store: kw}
+	if got := TopPermille(m, 1, 3, 100, 1); !math.IsInf(got, 1) {
+		t.Fatalf("n<2 must yield +Inf, got %v", got)
+	}
+	// p out of range is clamped on both ends; sample<=0 uses the default.
+	lo := TopPermille(m, 3, -1, 0, 1)
+	hi := TopPermille(m, 3, 5000, 0, 1)
+	if lo < hi {
+		t.Fatalf("smaller permille must not lower the threshold: p~0 -> %v, p=1000 -> %v", lo, hi)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TopPermille must panic on a distance metric")
+		}
+	}()
+	TopPermille(Euclidean{Store: attr.NewGeo(3)}, 3, 3, 100, 1)
+}

@@ -168,6 +168,16 @@ func (a *GeoAttributes) WithinDistance(r float64) *Oracle {
 // construction).
 func (a *GeoAttributes) Metric() Metric { return similarity.Euclidean{Store: a.store} }
 
+// Grow extends the store to n vertices at the origin; part of the
+// DynamicAttributes interface.
+func (a *GeoAttributes) Grow(n int) { a.store.Grow(n) }
+
+// SetAttributes places u at (v.X, v.Y); part of the DynamicAttributes
+// interface.
+func (a *GeoAttributes) SetAttributes(u int32, v VertexAttributes) {
+	a.store.SetVertex(u, attr.Point{X: v.X, Y: v.Y})
+}
+
 // KeywordAttributes stores one keyword set per vertex and builds
 // Jaccard similarity oracles.
 type KeywordAttributes struct{ store *attr.Keywords }
@@ -190,6 +200,16 @@ func (a *KeywordAttributes) JaccardAtLeast(r float64) *Oracle {
 
 // Metric exposes the raw Jaccard metric (for threshold calibration).
 func (a *KeywordAttributes) Metric() Metric { return similarity.Jaccard{Store: a.store} }
+
+// Grow extends the store to n vertices with empty keyword sets; part of
+// the DynamicAttributes interface.
+func (a *KeywordAttributes) Grow(n int) { a.store.Grow(n) }
+
+// SetAttributes assigns v.Keys as the keyword set of u; part of the
+// DynamicAttributes interface.
+func (a *KeywordAttributes) SetAttributes(u int32, v VertexAttributes) {
+	a.store.SetVertex(u, append([]int32(nil), v.Keys...))
+}
 
 // WeightedKeywordAttributes stores keyword->weight lists per vertex
 // (e.g. counted conferences) and builds weighted-Jaccard oracles, the
@@ -225,6 +245,17 @@ func (a *WeightedKeywordAttributes) WeightedJaccardAtLeast(r float64) *Oracle {
 // calibration such as TopPermilleThreshold).
 func (a *WeightedKeywordAttributes) Metric() Metric {
 	return similarity.WeightedJaccard{Store: a.store}
+}
+
+// Grow extends the store to n vertices with empty lists; part of the
+// DynamicAttributes interface.
+func (a *WeightedKeywordAttributes) Grow(n int) { a.store.Grow(n) }
+
+// SetAttributes assigns v.Keys with v.Weights (missing weights default
+// to 1) as the weighted keyword list of u; part of the
+// DynamicAttributes interface.
+func (a *WeightedKeywordAttributes) SetAttributes(u int32, v VertexAttributes) {
+	a.Set(u, append([]int32(nil), v.Keys...), v.Weights)
 }
 
 // TopPermilleThreshold returns the similarity value at the top p
