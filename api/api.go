@@ -1,0 +1,227 @@
+// Package api defines the JSON wire format of the krcored serving
+// daemon: request and response bodies shared by the HTTP server
+// (krcore/server) and the Go client (krcore/client), plus the
+// conversions between wire updates and krcore.Update values.
+//
+// The format is deliberately plain JSON over HTTP — one POST per query
+// — so non-Go clients need nothing beyond an HTTP library. Vertex ids
+// are int32 (as in the krcore API) and serialise exactly, so cores
+// returned over the wire are bit-identical to in-process results.
+package api
+
+import (
+	"fmt"
+
+	"krcore"
+)
+
+// Endpoint paths served by krcored.
+const (
+	PathHealth    = "/healthz"
+	PathStats     = "/v1/stats"
+	PathEnumerate = "/v1/enumerate"
+	PathMaximum   = "/v1/maximum"
+	PathWarm      = "/v1/warm"
+	PathUpdate    = "/v1/update"
+)
+
+// QueryRequest asks for the (k,r)-cores at one setting. It is the body
+// of PathEnumerate (all maximal cores, or the cores containing Vertex
+// when set) and PathMaximum (the maximum core).
+type QueryRequest struct {
+	// K is the engagement threshold (>= 1).
+	K int `json:"k"`
+	// R is the similarity threshold (km for geo datasets, metric value
+	// otherwise).
+	R float64 `json:"r"`
+	// Vertex, when non-nil, restricts an enumerate query to the maximal
+	// cores containing this vertex (community search). Ignored by
+	// PathMaximum.
+	Vertex *int32 `json:"vertex,omitempty"`
+	// Parallelism is the number of worker goroutines searching
+	// candidate components within this one query (0 or 1 = serial).
+	Parallelism int `json:"parallelism,omitempty"`
+	// TimeoutMS is the per-request deadline in milliseconds; 0 uses the
+	// server default, and the server clamps it to its configured
+	// maximum. An exceeded deadline returns a 200 with timed_out=true
+	// and whatever was found, mirroring Limits semantics.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxNodes caps the total search-tree nodes of this query across
+	// all its workers (0 = server default/unlimited); the server clamps
+	// it to its configured maximum.
+	MaxNodes int64 `json:"max_nodes,omitempty"`
+}
+
+// QueryResponse is the answer to a QueryRequest.
+type QueryResponse struct {
+	// Cores holds the result cores as sorted global vertex ids,
+	// canonically ordered — bit-identical to the in-process Result.
+	Cores [][]int32 `json:"cores"`
+	// Count, MaxSize and AvgSize summarise the cores (Result.Summarize).
+	Count   int     `json:"count"`
+	MaxSize int     `json:"max_size"`
+	AvgSize float64 `json:"avg_size"`
+	// Nodes counts expanded search-tree nodes (Result.Nodes).
+	Nodes int64 `json:"nodes"`
+	// TimedOut reports that a limit aborted the search; Cores is then
+	// incomplete.
+	TimedOut bool `json:"timed_out,omitempty"`
+	// ElapsedUS is the server-side search time in microseconds.
+	ElapsedUS int64 `json:"elapsed_us"`
+}
+
+// WarmRequest pre-builds one (k,r) setting (PathWarm).
+type WarmRequest struct {
+	K int     `json:"k"`
+	R float64 `json:"r"`
+}
+
+// WarmResponse acknowledges a warm.
+type WarmResponse struct {
+	// Prepared is the number of distinct (k,r) settings now cached.
+	Prepared int `json:"prepared"`
+}
+
+// Update is one wire-format mutation (PathUpdate). Op uses the update
+// stream mnemonics of internal/updates: "ae" (add edge), "re" (remove
+// edge), "av" (add vertex), "sa" (set attributes).
+type Update struct {
+	Op string `json:"op"`
+	U  int32  `json:"u,omitempty"`
+	V  int32  `json:"v,omitempty"`
+	// Attribute payload for "sa"; the daemon applies whichever fields
+	// its attribute store kind reads.
+	X       float64   `json:"x,omitempty"`
+	Y       float64   `json:"y,omitempty"`
+	Keys    []int32   `json:"keys,omitempty"`
+	Weights []float64 `json:"weights,omitempty"`
+}
+
+// Op mnemonics of the wire update format.
+const (
+	OpAddEdge       = "ae"
+	OpRemoveEdge    = "re"
+	OpAddVertex     = "av"
+	OpSetAttributes = "sa"
+)
+
+// ToUpdate converts a wire update to a krcore.Update.
+func (u Update) ToUpdate() (krcore.Update, error) {
+	switch u.Op {
+	case OpAddEdge:
+		return krcore.AddEdgeUpdate(u.U, u.V), nil
+	case OpRemoveEdge:
+		return krcore.RemoveEdgeUpdate(u.U, u.V), nil
+	case OpAddVertex:
+		return krcore.AddVertexUpdate(), nil
+	case OpSetAttributes:
+		return krcore.SetAttributesUpdate(u.U, krcore.VertexAttributes{
+			X: u.X, Y: u.Y, Keys: u.Keys, Weights: u.Weights,
+		}), nil
+	default:
+		return krcore.Update{}, fmt.Errorf("api: unknown update op %q", u.Op)
+	}
+}
+
+// FromUpdate converts a krcore.Update to its wire form.
+func FromUpdate(up krcore.Update) (Update, error) {
+	switch up.Op {
+	case krcore.OpAddEdge:
+		return Update{Op: OpAddEdge, U: up.U, V: up.V}, nil
+	case krcore.OpRemoveEdge:
+		return Update{Op: OpRemoveEdge, U: up.U, V: up.V}, nil
+	case krcore.OpAddVertex:
+		return Update{Op: OpAddVertex}, nil
+	case krcore.OpSetAttributes:
+		return Update{
+			Op: OpSetAttributes, U: up.U,
+			X: up.Attrs.X, Y: up.Attrs.Y,
+			Keys: up.Attrs.Keys, Weights: up.Attrs.Weights,
+		}, nil
+	default:
+		return Update{}, fmt.Errorf("api: cannot serialise op %v", up.Op)
+	}
+}
+
+// UpdateRequest applies one atomic batch of updates through
+// DynamicEngine.ApplyBatch: either every update commits as one new
+// snapshot or none does.
+type UpdateRequest struct {
+	Updates []Update `json:"updates"`
+}
+
+// UpdateResponse acknowledges a committed batch.
+type UpdateResponse struct {
+	// Applied is the number of operations in the committed batch.
+	Applied int `json:"applied"`
+	// Version is the engine's snapshot version after the commit.
+	Version int64 `json:"version"`
+	// N and M are the vertex and undirected-edge counts after the
+	// commit.
+	N int `json:"n"`
+	M int `json:"m"`
+}
+
+// EngineStats mirrors krcore.EngineStats on the wire.
+type EngineStats struct {
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Thresholds int   `json:"thresholds"`
+	Prepared   int   `json:"prepared"`
+}
+
+// DynamicStats mirrors krcore.DynamicStats on the wire (PathStats,
+// dynamic daemons only).
+type DynamicStats struct {
+	Updates           int64 `json:"updates"`
+	Batches           int64 `json:"batches"`
+	Version           int64 `json:"version"`
+	IndexesKept       int64 `json:"indexes_kept"`
+	IndexesRebuilt    int64 `json:"indexes_rebuilt"`
+	ComponentsReused  int64 `json:"components_reused"`
+	ComponentsRebuilt int64 `json:"components_rebuilt"`
+}
+
+// ServerStats reports the daemon's expvar-style serving counters.
+type ServerStats struct {
+	// Queries counts search queries answered successfully.
+	Queries int64 `json:"queries"`
+	// Rejected counts requests turned away by admission control (429).
+	Rejected int64 `json:"rejected"`
+	// Errors counts requests that failed for any other reason.
+	Errors int64 `json:"errors"`
+	// UpdatesApplied counts update operations committed.
+	UpdatesApplied int64 `json:"updates_applied"`
+	// InFlight is the number of searches running right now.
+	InFlight int64 `json:"in_flight"`
+	// PeakInFlight is the highest concurrent-search count observed; it
+	// never exceeds the admission-control limit.
+	PeakInFlight int64 `json:"peak_in_flight"`
+	// MaxConcurrent echoes the admission-control limit.
+	MaxConcurrent int64 `json:"max_concurrent"`
+}
+
+// StatsResponse is the body of PathStats.
+type StatsResponse struct {
+	// Dataset names the served dataset (as given to the daemon).
+	Dataset string `json:"dataset,omitempty"`
+	// N and M are the current vertex and undirected-edge counts.
+	N int `json:"n"`
+	M int `json:"m"`
+	// Dynamic reports whether the daemon accepts updates.
+	Dynamic bool        `json:"dynamic"`
+	Engine  EngineStats `json:"engine"`
+	Server  ServerStats `json:"server"`
+	// DynamicEngine is set on dynamic daemons only.
+	DynamicEngine *DynamicStats `json:"dynamic_engine,omitempty"`
+}
+
+// HealthResponse is the body of PathHealth.
+type HealthResponse struct {
+	Status string `json:"status"` // "ok"
+}
+
+// Error is the body of every non-2xx response.
+type Error struct {
+	Error string `json:"error"`
+}

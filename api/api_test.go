@@ -1,0 +1,52 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"krcore"
+)
+
+func TestUpdateConversionRoundTrip(t *testing.T) {
+	ups := []krcore.Update{
+		krcore.AddEdgeUpdate(3, 9),
+		krcore.RemoveEdgeUpdate(9, 3),
+		krcore.AddVertexUpdate(),
+		krcore.SetAttributesUpdate(7, krcore.VertexAttributes{X: 1.5, Y: -2}),
+		krcore.SetAttributesUpdate(8, krcore.VertexAttributes{
+			Keys: []int32{4, 5}, Weights: []float64{2, 0.5},
+		}),
+	}
+	for _, up := range ups {
+		wire, err := FromUpdate(up)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The wire form must survive JSON, as it does over HTTP.
+		buf, err := json.Marshal(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Update
+		if err := json.Unmarshal(buf, &back); err != nil {
+			t.Fatal(err)
+		}
+		got, err := back.ToUpdate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(up) {
+			t.Fatalf("round trip diverged: %+v -> %s -> %+v", up, buf, got)
+		}
+	}
+}
+
+func TestUpdateConversionErrors(t *testing.T) {
+	if _, err := (Update{Op: "xx"}).ToUpdate(); err == nil {
+		t.Fatal("unknown wire op accepted")
+	}
+	if _, err := FromUpdate(krcore.Update{Op: krcore.UpdateOp(99)}); err == nil {
+		t.Fatal("unknown krcore op serialised")
+	}
+}

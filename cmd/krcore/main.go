@@ -67,7 +67,7 @@ func run(args []string, stdout, stderr io.Writer) (timedOut bool, err error) {
 		return false, err
 	}
 
-	d, err := openDataset(*data, *load)
+	d, err := dataset.Open(*data, *load)
 	if err != nil {
 		return false, err
 	}
@@ -131,7 +131,12 @@ func replayAndQuery(stdout io.Writer, d *dataset.Dataset, updFile string, batch,
 	if err != nil {
 		return nil, nil, err
 	}
-	ups, err := updates.Parse(f, d.Kind)
+	// ParseStream keeps source line numbers: a malformed line aborts
+	// here, before anything is applied, and a semantically invalid
+	// update aborts the replay below with its line — in both cases the
+	// offending batch is discarded whole (ApplyBatch is atomic) and the
+	// process exits non-zero.
+	stream, err := updates.ParseStream(f, d.Kind)
 	f.Close()
 	if err != nil {
 		return nil, nil, err
@@ -148,14 +153,14 @@ func replayAndQuery(stdout io.Writer, d *dataset.Dataset, updFile string, batch,
 		return nil, nil, err
 	}
 	start := time.Now()
-	batches, err := updates.Replay(eng, ups, batch)
+	batches, err := stream.ReplayStream(eng, batch)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("replay %s: %w", updFile, err)
 	}
 	elapsed := time.Since(start)
 	ds := eng.DynamicStats()
 	fmt.Fprintf(stdout, "replayed %d updates in %d batches: %v (%v/batch)\n",
-		len(ups), batches, elapsed.Round(time.Millisecond), (elapsed / time.Duration(maxInt(batches, 1))).Round(time.Microsecond))
+		len(stream.Ups), batches, elapsed.Round(time.Millisecond), (elapsed / time.Duration(maxInt(batches, 1))).Round(time.Microsecond))
 	fmt.Fprintf(stdout, "scoped invalidation: %d indexes kept, %d rebuilt; %d components reused, %d rebuilt\n",
 		ds.IndexesKept, ds.IndexesRebuilt, ds.ComponentsReused, ds.ComponentsRebuilt)
 
@@ -177,22 +182,4 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
-}
-
-func openDataset(preset, file string) (*dataset.Dataset, error) {
-	switch {
-	case preset != "" && file != "":
-		return nil, fmt.Errorf("use either -data or -load, not both")
-	case preset != "":
-		return dataset.Load(preset)
-	case file != "":
-		f, err := os.Open(file)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return dataset.Read(f)
-	default:
-		return nil, fmt.Errorf("need -data <preset> or -load <file>")
-	}
 }

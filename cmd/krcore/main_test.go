@@ -118,6 +118,53 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestRunUpdatesCorruptStream is the regression test for the -updates
+// replay error handling: a malformed or invalid update line mid-stream
+// must abort the run with a line-numbered error (non-zero exit via
+// main's log.Fatal) without committing the partial batch.
+func TestRunUpdatesCorruptStream(t *testing.T) {
+	dir := t.TempDir()
+	data, _ := writeSmallDataset(t, dir)
+
+	// Syntactically malformed line mid-stream: rejected at parse time,
+	// before any update is applied.
+	syntax := filepath.Join(dir, "syntax.txt")
+	if err := os.WriteFile(syntax, []byte("ae 0 1\nae 1 2\nae zz !!\nae 2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	_, err := run([]string{"-load", data, "-updates", syntax, "-k", "4", "-r", "12"}, &out, &out)
+	if err == nil {
+		t.Fatal("corrupt stream replayed cleanly")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("parse error does not name line 3: %v", err)
+	}
+
+	// Semantically invalid line mid-stream (edge to a vertex that does
+	// not exist): parses fine, rejected atomically at replay time. With
+	// -update-batch 4 the valid leading ops share the offender's batch
+	// and must be discarded with it.
+	semantic := filepath.Join(dir, "semantic.txt")
+	if err := os.WriteFile(semantic, []byte("ae 0 1\nae 1 2\nae 0 99999\nae 2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	_, err = run([]string{"-load", data, "-updates", semantic, "-update-batch", "4", "-k", "4", "-r", "12"}, &out, &out)
+	if err == nil {
+		t.Fatal("invalid stream replayed cleanly")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("replay error does not name line 3: %v", err)
+	}
+	if !strings.Contains(err.Error(), "discarded") || !strings.Contains(err.Error(), "0 batches committed") {
+		t.Fatalf("replay error does not report batch discard: %v", err)
+	}
+	if strings.Contains(out.String(), "replayed") {
+		t.Fatalf("failed replay still printed a success summary: %q", out.String())
+	}
+}
+
 func TestRunPreset(t *testing.T) {
 	// A preset query with k far above any core: the pipeline runs end to
 	// end and reports zero cores quickly.

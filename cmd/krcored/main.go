@@ -1,0 +1,219 @@
+// Command krcored serves (k,r)-core queries over HTTP: it loads one
+// attributed social network, builds the caching serving engine and
+// exposes enumerate / enumerate-containing / find-maximum / warm /
+// stats endpoints as JSON (see krcore/api for the wire format and
+// krcore/client for the Go client). With -dynamic it serves the
+// mutable engine instead and additionally accepts atomic update
+// batches, so the graph can evolve under live query traffic.
+//
+// Usage:
+//
+//	krcored -data gowalla -warm 5
+//	krcored -data brightkite -addr 127.0.0.1:8420 -concurrency 8
+//	krcored -load mygraph.txt -dynamic -warm 4:12,5:12
+//
+//	curl -s localhost:8420/v1/enumerate -d '{"k":5,"r":10}'
+//	curl -s localhost:8420/v1/stats
+//
+// The daemon answers every query under a per-request deadline and node
+// budget (request fields, clamped by -max-timeout / -max-nodes), bounds
+// concurrent searches with an admission-control semaphore (-concurrency,
+// excess requests queue up to -queue-wait, then 429), and drains
+// in-flight queries before exiting on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"krcore"
+	"krcore/internal/dataset"
+	"krcore/internal/updates"
+	"krcore/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("krcored: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes one daemon lifetime: it serves until ctx is cancelled
+// (SIGINT/SIGTERM in production, the test harness otherwise), then
+// drains in-flight queries and returns.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("krcored", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		data        = fs.String("data", "", "preset dataset name (brightkite, gowalla, dblp, pokec)")
+		load        = fs.String("load", "", "load a dataset file written by datagen")
+		addr        = fs.String("addr", "127.0.0.1:8420", "listen address (host:port; port 0 picks a free port)")
+		dynamic     = fs.Bool("dynamic", false, "serve the mutable engine and accept /v1/update batches")
+		concurrency = fs.Int("concurrency", 4, "searches running at once (admission-control limit)")
+		queue       = fs.Int("queue", 64, "requests allowed to wait for a search slot before 429")
+		queueWait   = fs.Duration("queue-wait", 10*time.Second, "longest a queued request waits before 429")
+		timeout     = fs.Duration("timeout", 30*time.Second, "default per-request search deadline")
+		maxTimeout  = fs.Duration("max-timeout", 2*time.Minute, "upper clamp on per-request deadlines")
+		maxNodes    = fs.Int64("max-nodes", 0, "upper clamp on per-request search-node budgets (0 = unlimited)")
+		parallelCap = fs.Int("parallel-cap", 8, "upper clamp on per-request worker counts")
+		warm        = fs.String("warm", "", "comma-separated settings to pre-build: k (default threshold) or k:r")
+		grace       = fs.Duration("grace", 10*time.Second, "shutdown drain budget for in-flight queries")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	d, err := dataset.Open(*data, *load)
+	if err != nil {
+		return err
+	}
+	var backend server.Backend
+	if *dynamic {
+		attrs, err := updates.Attrs(d)
+		if err != nil {
+			return err
+		}
+		deng, err := krcore.NewDynamicEngine(d.Graph, attrs)
+		if err != nil {
+			return err
+		}
+		backend = deng
+	} else {
+		backend = krcore.NewEngine(d.Graph, d.Metric())
+	}
+
+	srv, err := server.New(backend, server.Config{
+		Dataset:        d.Name,
+		MaxConcurrent:  *concurrency,
+		MaxQueue:       *queue,
+		QueueWait:      *queueWait,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxNodes:       *maxNodes,
+		MaxParallelism: *parallelCap,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *warm != "" {
+		specs, err := parseWarm(*warm, d)
+		if err != nil {
+			return err
+		}
+		for _, sp := range specs {
+			// Stay interruptible while warming: NotifyContext swallows
+			// the default signal handling, so a SIGTERM during a long
+			// warm sequence must be observed here, not only after the
+			// listener is up.
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("interrupted during warm-up: %w", err)
+			}
+			t0 := time.Now()
+			if err := backend.Warm(sp.k, sp.r); err != nil {
+				return fmt.Errorf("warm %d:%g: %w", sp.k, sp.r, err)
+			}
+			fmt.Fprintf(stdout, "warmed (k=%d, r=%.4f) in %v\n", sp.k, sp.r, time.Since(t0).Round(time.Millisecond))
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	mode := "static"
+	if *dynamic {
+		mode = "dynamic"
+	}
+	g := backend.Graph()
+	fmt.Fprintf(stdout, "serving %s (%d vertices, %d edges, %s engine)\n", d.Name, g.N(), g.M(), mode)
+	fmt.Fprintf(stdout, "listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err // listener failed before shutdown was requested
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "shutting down: draining in-flight queries")
+	sctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(stdout, "bye")
+	return nil
+}
+
+// warmSpec is one pre-built (k,r) setting.
+type warmSpec struct {
+	k int
+	r float64
+}
+
+// parseWarm parses the -warm flag: a comma-separated list of "k" (the
+// dataset's default threshold) or "k:r" items.
+func parseWarm(s string, d *dataset.Dataset) ([]warmSpec, error) {
+	var (
+		specs      []warmSpec
+		defaultThr float64
+		haveThr    bool
+	)
+	defThreshold := func() (float64, error) {
+		if haveThr {
+			return defaultThr, nil
+		}
+		thr, err := d.DefaultThreshold()
+		if err != nil {
+			return 0, fmt.Errorf("-warm %q: %w; use k:r", s, err)
+		}
+		defaultThr, haveThr = thr, true
+		return defaultThr, nil
+	}
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		ks, rs, hasR := strings.Cut(item, ":")
+		k, err := strconv.Atoi(ks)
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("-warm %q: bad k %q", s, ks)
+		}
+		var r float64
+		if hasR {
+			r, err = strconv.ParseFloat(rs, 64)
+			if err != nil {
+				return nil, fmt.Errorf("-warm %q: bad r %q", s, rs)
+			}
+		} else if r, err = defThreshold(); err != nil {
+			return nil, err
+		}
+		specs = append(specs, warmSpec{k: k, r: r})
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("-warm %q: no settings", s)
+	}
+	return specs, nil
+}

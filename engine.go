@@ -1,6 +1,7 @@
 package krcore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -49,36 +50,50 @@ type krKey struct {
 	r float64
 }
 
-// rEntry is the r-dependent, k-independent shared state. ready is set
-// when the once body completed; advance only carries ready entries
-// (callers serialise advance with queries, so the flag is ordered).
+// rEntry is the r-dependent, k-independent shared state. The oracle
+// (with its bulk similarity index) and the dissimilar-edge-filtered
+// graph build under separate onces, so Engine.Oracle can serve the
+// similarity oracle alone without paying for the full-graph edge
+// filter a (k,r) query needs. ready is set once BOTH halves completed;
+// advance only carries fully-ready entries (oracle-only entries are
+// rebuilt lazily on the mutated graph).
 type rEntry struct {
-	once     sync.Once
-	oracle   *Oracle
-	filtered *graph.Graph
-	ready    bool
+	oracleOnce  sync.Once
+	oracle      *Oracle
+	oracleReady atomic.Bool
+
+	filterOnce sync.Once
+	filtered   *graph.Graph
+	ready      atomic.Bool
 }
 
-// krEntry is the prepared problem of one (k,r) setting.
+// krEntry is the prepared problem of one (k,r) setting. ready flips
+// after the once body completed, so concurrent queries can tell a
+// served entry (cache hit) from one still being built (miss: they
+// block on the once alongside the builder).
 type krEntry struct {
 	once  sync.Once
 	pr    *core.Prepared
 	err   error
-	ready bool
+	ready atomic.Bool
 }
 
 // readyREntry wraps already-built per-r state so later queries treat it
-// as constructed (the once is pre-fired).
+// as constructed (the onces are pre-fired).
 func readyREntry(o *Oracle, filtered *graph.Graph) *rEntry {
-	ent := &rEntry{oracle: o, filtered: filtered, ready: true}
-	ent.once.Do(func() {})
+	ent := &rEntry{oracle: o, filtered: filtered}
+	ent.oracleOnce.Do(func() {})
+	ent.filterOnce.Do(func() {})
+	ent.oracleReady.Store(true)
+	ent.ready.Store(true)
 	return ent
 }
 
 // readyKREntry wraps an already-prepared (k,r) problem.
 func readyKREntry(pr *core.Prepared) *krEntry {
-	ent := &krEntry{pr: pr, ready: true}
+	ent := &krEntry{pr: pr}
 	ent.once.Do(func() {})
+	ent.ready.Store(true)
 	return ent
 }
 
@@ -96,13 +111,23 @@ func NewEngine(g *Graph, m Metric) *Engine {
 
 // EngineStats reports the engine's cache behaviour.
 type EngineStats struct {
-	// Hits counts queries that found their (k,r) setting already
-	// prepared (or being prepared by a concurrent query).
+	// Hits counts queries that found their (k,r) setting fully
+	// prepared and served it with zero preparation work, plus Oracle
+	// calls that found their threshold's oracle already built. A query
+	// that arrives while another query is still building the same
+	// setting is NOT a hit: it blocks until the build completes, so it
+	// pays the preparation latency and is counted as a miss. (Earlier
+	// revisions counted those as hits, overstating cache efficiency
+	// exactly when a cold setting was stampeded.)
 	Hits int64
-	// Misses counts queries that had to prepare their (k,r) setting.
+	// Misses counts queries that had to prepare their (k,r) setting or
+	// wait for a concurrent preparation of it, plus Oracle calls that
+	// had to build the oracle.
 	Misses int64
-	// Thresholds is the number of distinct r values with a cached
-	// oracle, similarity index and filtered graph.
+	// Thresholds is the number of distinct r values with at least a
+	// cached oracle and similarity index. Entries created by Oracle
+	// alone defer the filtered-graph build until the first (k,r) query
+	// at that threshold.
 	Thresholds int
 	// Prepared is the number of distinct (k,r) settings with cached
 	// candidate components.
@@ -122,7 +147,12 @@ func (e *Engine) Stats() EngineStats {
 }
 
 // Oracle returns the engine's cached similarity oracle for threshold r
-// (with its bulk index attached), building it on first use.
+// (with its bulk index attached), building it on first use. Only the
+// oracle and its index are built: the dissimilar-edge filter over the
+// whole graph — which a (k,r) query needs but an oracle caller does
+// not — stays lazy until the first query at this threshold. (An
+// earlier revision forced the full per-r build here and bypassed the
+// hit/miss counters; both are regression-tested now.)
 func (e *Engine) Oracle(r float64) (*Oracle, error) {
 	if e.metric == nil {
 		return nil, errors.New("krcore: engine has no similarity metric")
@@ -130,8 +160,18 @@ func (e *Engine) Oracle(r float64) (*Oracle, error) {
 	if math.IsNaN(r) {
 		return nil, errors.New("krcore: similarity threshold r must not be NaN")
 	}
-	return e.forR(r).oracle, nil
+	ent := e.rEntryFor(r)
+	if ent.oracleReady.Load() {
+		e.hits.Add(1)
+	} else {
+		e.miss.Add(1)
+	}
+	e.buildOracle(ent, r)
+	return ent.oracle, nil
 }
+
+// Graph returns the immutable graph the engine serves.
+func (e *Engine) Graph() *Graph { return e.g }
 
 // Warm prepares the (k,r) setting ahead of traffic, so the first real
 // query at that setting is a cache hit.
@@ -171,6 +211,67 @@ func (e *Engine) FindMaximum(k int, r float64, opt MaxOptions) (*Result, error) 
 	return pr.FindMaximum(opt)
 }
 
+// limitsWithContext binds ctx to the limits: the search aborts when ctx
+// is done, in addition to any context, deadline or node cap already in
+// l. When both contexts are set the returned limits hold a derived
+// context cancelled as soon as either parent is; the caller must invoke
+// the returned release func once the search ends, so no per-query
+// bookkeeping stays registered on long-lived parent contexts.
+func limitsWithContext(ctx context.Context, l Limits) (Limits, func()) {
+	if ctx == nil {
+		return l, func() {}
+	}
+	if l.Context == nil {
+		l.Context = ctx
+		return l, func() {}
+	}
+	merged, cancel := context.WithCancel(ctx)
+	if l.Context.Err() != nil {
+		cancel() // already done: propagate synchronously, not via AfterFunc's goroutine
+		return withCtx(l, merged), func() {}
+	}
+	stop := context.AfterFunc(l.Context, cancel)
+	return withCtx(l, merged), func() {
+		stop()
+		cancel()
+	}
+}
+
+// withCtx returns l with its context replaced.
+func withCtx(l Limits, ctx context.Context) Limits {
+	l.Context = ctx
+	return l
+}
+
+// EnumerateContext is Enumerate bound to a request context: the search
+// aborts (Result.TimedOut) when ctx is cancelled or its deadline
+// passes, on top of any limits in opt. This is the query surface the
+// HTTP serving layer maps per-request deadlines onto.
+func (e *Engine) EnumerateContext(ctx context.Context, k int, r float64, opt EnumOptions) (*Result, error) {
+	limits, release := limitsWithContext(ctx, opt.Limits)
+	defer release()
+	opt.Limits = limits
+	return e.Enumerate(k, r, opt)
+}
+
+// EnumerateContainingContext is EnumerateContaining bound to a request
+// context (see EnumerateContext).
+func (e *Engine) EnumerateContainingContext(ctx context.Context, k int, r float64, v int32, opt EnumOptions) (*Result, error) {
+	limits, release := limitsWithContext(ctx, opt.Limits)
+	defer release()
+	opt.Limits = limits
+	return e.EnumerateContaining(k, r, v, opt)
+}
+
+// FindMaximumContext is FindMaximum bound to a request context (see
+// EnumerateContext).
+func (e *Engine) FindMaximumContext(ctx context.Context, k int, r float64, opt MaxOptions) (*Result, error) {
+	limits, release := limitsWithContext(ctx, opt.Limits)
+	defer release()
+	opt.Limits = limits
+	return e.FindMaximum(k, r, opt)
+}
+
 // prepared returns the cached candidate components for (k,r), building
 // them exactly once. The engine mutex is held only for the map lookup;
 // construction runs under the entry's sync.Once so concurrent queries
@@ -195,7 +296,13 @@ func (e *Engine) prepared(k int, r float64) (*core.Prepared, error) {
 		e.byKR[key] = ent
 	}
 	e.mu.Unlock()
-	if ok {
+	// A hit is an entry that is already fully built AND usable; a
+	// caller that merely finds the map slot while another query is
+	// still inside the once below blocks with the builder and pays the
+	// same latency, so it counts as a miss — as does a cached build
+	// error, which serves no prepared state. (Reading ent.err here is
+	// safe: it is written before the ready flag's atomic store.)
+	if ok && ent.ready.Load() && ent.err == nil {
 		e.hits.Add(1)
 	} else {
 		e.miss.Add(1)
@@ -203,14 +310,14 @@ func (e *Engine) prepared(k int, r float64) (*core.Prepared, error) {
 	ent.once.Do(func() {
 		re := e.forR(r)
 		ent.pr, ent.err = core.PrepareFiltered(re.filtered, core.Params{K: k, Oracle: re.oracle})
-		ent.ready = true
+		ent.ready.Store(true)
 	})
 	return ent.pr, ent.err
 }
 
-// forR returns the r-dependent shared state (oracle, index, filtered
-// graph), building it exactly once per threshold.
-func (e *Engine) forR(r float64) *rEntry {
+// rEntryFor returns the map slot of threshold r, inserting an empty
+// entry under the engine mutex; the entry's halves build lazily.
+func (e *Engine) rEntryFor(r float64) *rEntry {
 	e.mu.Lock()
 	ent, ok := e.byR[r]
 	if !ok {
@@ -218,11 +325,27 @@ func (e *Engine) forR(r float64) *rEntry {
 		e.byR[r] = ent
 	}
 	e.mu.Unlock()
-	ent.once.Do(func() {
+	return ent
+}
+
+// buildOracle builds the oracle half of an rEntry exactly once: the
+// similarity oracle plus its bulk index, but not the filtered graph.
+func (e *Engine) buildOracle(ent *rEntry, r float64) {
+	ent.oracleOnce.Do(func() {
 		ent.oracle = NewOracle(e.metric, r)
 		BuildIndex(ent.oracle)
+		ent.oracleReady.Store(true)
+	})
+}
+
+// forR returns the fully-built r-dependent shared state (oracle, index,
+// filtered graph), building each half exactly once per threshold.
+func (e *Engine) forR(r float64) *rEntry {
+	ent := e.rEntryFor(r)
+	e.buildOracle(ent, r)
+	ent.filterOnce.Do(func() {
 		ent.filtered = core.FilterDissimilar(e.g, ent.oracle)
-		ent.ready = true
+		ent.ready.Store(true)
 	})
 	return ent
 }
@@ -283,8 +406,11 @@ func (e *Engine) advance(d advanceDelta) (*Engine, advanceStats) {
 	e.mu.Unlock()
 	attrsChanged := len(d.attrVerts) > 0 || d.grown
 	for r, old := range rs {
-		if !old.ready {
-			continue // never finished building; rebuilt lazily on demand
+		if !old.ready.Load() {
+			// Never finished building (this includes oracle-only
+			// entries, whose filtered graph cannot be patched);
+			// rebuilt lazily on demand.
+			continue
 		}
 		oracle := old.oracle
 		if attrsChanged {
@@ -299,7 +425,7 @@ func (e *Engine) advance(d advanceDelta) (*Engine, advanceStats) {
 		ne.byR[r] = readyREntry(oracle, filtered)
 	}
 	for key, old := range krs {
-		if !old.ready || old.err != nil {
+		if !old.ready.Load() || old.err != nil {
 			continue
 		}
 		re := ne.byR[key.r]

@@ -1,6 +1,7 @@
 package krcore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -180,10 +181,33 @@ func (d *DynamicEngine) SetAttributes(u int32, a VertexAttributes) error {
 	return d.ApplyBatch([]Update{SetAttributesUpdate(u, a)})
 }
 
+// BatchError is the error a rejected ApplyBatch returns: it names the
+// offending update by its index within the batch, so stream-replay
+// tooling can map the rejection back to a source position. The whole
+// batch is discarded — Index records where validation stopped, not a
+// partial-commit boundary.
+type BatchError struct {
+	// Index is the position of the invalid update within the batch.
+	Index int
+	// Op is the operation kind of the invalid update.
+	Op UpdateOp
+	// Err is the underlying validation error.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("krcore: update %d (%s): %v", e.Index, e.Op, e.Err)
+}
+
+// Unwrap returns the underlying validation error.
+func (e *BatchError) Unwrap() error { return e.Err }
+
 // ApplyBatch validates and commits a batch of updates atomically: on
-// the first invalid update nothing is applied, otherwise the whole
-// batch becomes one new snapshot (one scoped invalidation, however many
-// operations). An empty batch is a no-op.
+// the first invalid update nothing is applied (the returned error is a
+// *BatchError naming the offender), otherwise the whole batch becomes
+// one new snapshot (one scoped invalidation, however many operations).
+// An empty batch is a no-op.
 func (d *DynamicEngine) ApplyBatch(batch []Update) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -219,7 +243,7 @@ func (d *DynamicEngine) applyLocked(batch []Update) error {
 			err = fmt.Errorf("krcore: unknown update op %d", up.Op)
 		}
 		if err != nil {
-			return fmt.Errorf("krcore: update %d (%s): %w", i, up.Op, err)
+			return &BatchError{Index: i, Op: up.Op, Err: err}
 		}
 	}
 	d.stats.Batches++
@@ -309,6 +333,31 @@ func (d *DynamicEngine) FindMaximum(k int, r float64, opt MaxOptions) (*Result, 
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return d.eng.FindMaximum(k, r, opt)
+}
+
+// EnumerateContext is Enumerate bound to a request context (see
+// Engine.EnumerateContext). The context also covers the time the query
+// may spend waiting for an in-flight mutation to publish its snapshot.
+func (d *DynamicEngine) EnumerateContext(ctx context.Context, k int, r float64, opt EnumOptions) (*Result, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.eng.EnumerateContext(ctx, k, r, opt)
+}
+
+// EnumerateContainingContext is EnumerateContaining bound to a request
+// context (see Engine.EnumerateContext).
+func (d *DynamicEngine) EnumerateContainingContext(ctx context.Context, k int, r float64, v int32, opt EnumOptions) (*Result, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.eng.EnumerateContainingContext(ctx, k, r, v, opt)
+}
+
+// FindMaximumContext is FindMaximum bound to a request context (see
+// Engine.EnumerateContext).
+func (d *DynamicEngine) FindMaximumContext(ctx context.Context, k int, r float64, opt MaxOptions) (*Result, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.eng.FindMaximumContext(ctx, k, r, opt)
 }
 
 // Warm prepares the (k,r) setting ahead of traffic; subsequent updates

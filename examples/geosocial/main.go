@@ -11,40 +11,51 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"krcore"
 	"krcore/internal/dataset"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run reproduces the case study and prints it to w; split from main so
+// the smoke test can check the output.
+func run(w io.Writer) error {
 	d, k, r := dataset.GeosocialCase()
-	fmt.Printf("geo-social network: %d users, %d friendships\n", d.Graph.N(), d.Graph.M())
+	fmt.Fprintf(w, "geo-social network: %d users, %d friendships\n", d.Graph.N(), d.Graph.M())
 
 	params := krcore.Params{K: k, Oracle: d.Oracle(r)}
 	res, err := krcore.EnumerateMaximal(d.Graph, params, krcore.EnumOptions{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nk=%d, r=%.0fkm: %d maximal (k,r)-cores\n", k, r, len(res.Cores))
+	fmt.Fprintf(w, "\nk=%d, r=%.0fkm: %d maximal (k,r)-cores\n", k, r, len(res.Cores))
 	for i, c := range res.Cores {
 		cx, cy := centroid(d, c)
-		fmt.Printf("  group %d: %d users around (%.1f, %.1f)km\n", i+1, len(c), cx, cy)
+		fmt.Fprintf(w, "  group %d: %d users around (%.1f, %.1f)km\n", i+1, len(c), cx, cy)
 	}
 
-	fmt.Println("\nsweeping the distance threshold:")
+	fmt.Fprintln(w, "\nsweeping the distance threshold:")
 	for _, rv := range []float64{5, 10, 20, 50, 100} {
 		sweep, err := krcore.EnumerateMaximal(d.Graph,
 			krcore.Params{K: k, Oracle: d.Oracle(rv)}, krcore.EnumOptions{})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		stats := sweep.Summarize()
-		fmt.Printf("  r=%4.0fkm: %d group(s), largest %d users\n",
+		fmt.Fprintf(w, "  r=%4.0fkm: %d group(s), largest %d users\n",
 			rv, stats.Count, stats.MaxSize)
 	}
-	fmt.Println("\nat small r the two cities separate; at large r engagement")
-	fmt.Println("alone decides and the groups merge — exactly Figure 6.")
+	fmt.Fprintln(w, "\nat small r the two cities separate; at large r engagement")
+	fmt.Fprintln(w, "alone decides and the groups merge — exactly Figure 6.")
+	return nil
 }
 
 func centroid(d *dataset.Dataset, users []int32) (x, y float64) {

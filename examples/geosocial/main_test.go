@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGeosocialOutput runs the case study end to end and checks the
+// Figure 6 structure: two 15-user city groups at r=10km that merge as
+// the threshold grows.
+func TestGeosocialOutput(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"geo-social network: 80 users, 319 friendships",
+		"k=10, r=10km: 2 maximal (k,r)-cores",
+		"group 1: 15 users around",
+		"group 2: 15 users around",
+		"sweeping the distance threshold:",
+		"r= 100km: 1 group(s), largest 30 users",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -8,12 +8,22 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"krcore"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run builds the example network and prints its cores to w; split from
+// main so the smoke test can check the output.
+func run(w io.Writer) error {
 	// A small collaboration network. Vertices 0-4 form a tight group
 	// (G1), vertices 4-8 a second group (G2) bridged through vertex 4,
 	// vertices 9-12 collaborate but have nothing in common (G5), and
@@ -57,23 +67,24 @@ func main() {
 
 	res, err := krcore.EnumerateMaximal(g, params, krcore.EnumOptions{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("maximal (2, 0.4)-cores: %d\n", len(res.Cores))
+	fmt.Fprintf(w, "maximal (2, 0.4)-cores: %d\n", len(res.Cores))
 	for i, c := range res.Cores {
-		fmt.Printf("  group %d: %v\n", i+1, c)
+		fmt.Fprintf(w, "  group %d: %v\n", i+1, c)
 	}
 
 	maxRes, err := krcore.FindMaximum(g, params, krcore.MaxOptions{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if len(maxRes.Cores) == 1 {
-		fmt.Printf("maximum (2, 0.4)-core: %v (%d members)\n",
+		fmt.Fprintf(w, "maximum (2, 0.4)-core: %v (%d members)\n",
 			maxRes.Cores[0], len(maxRes.Cores[0]))
 	}
 
 	// For contrast: the classic k-core keeps the dissimilar group G5
 	// and glues G1 and G2 together.
-	fmt.Printf("plain 2-core vertices: %d of %d\n", len(krcore.KCore(g, 2)), n)
+	fmt.Fprintf(w, "plain 2-core vertices: %d of %d\n", len(krcore.KCore(g, 2)), n)
+	return nil
 }

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickstartOutput runs the example end to end and checks the
+// expected groups, so the quickstart cannot silently rot.
+func TestQuickstartOutput(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"maximal (2, 0.4)-cores: 2",
+		"group 1: [0 1 2 3 4]",
+		"group 2: [5 6 7 8]",
+		"maximum (2, 0.4)-core: [0 1 2 3 4] (5 members)",
+		"plain 2-core vertices: 13 of 17",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

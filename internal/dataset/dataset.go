@@ -109,6 +109,23 @@ func (d *Dataset) TopPermille(p float64) float64 {
 	return similarity.TopPermille(d.Metric(), d.Graph.N(), p, 200000, 12345)
 }
 
+// DefaultThreshold resolves the dataset's declared default similarity
+// threshold — DefaultR for geo presets, the top-permille calibration
+// otherwise (the single place encoding that rule). It errors when the
+// dataset's name matches no preset. Permille resolution samples the
+// pairwise distribution, so callers wanting to amortise it across
+// repeated lookups should cache the result (see expr.Runner.Permille).
+func (d *Dataset) DefaultThreshold() (float64, error) {
+	cfg, err := Preset(d.Name)
+	if err != nil {
+		return 0, fmt.Errorf("dataset: %q declares no default threshold: %w", d.Name, err)
+	}
+	if cfg.DefaultPermille > 0 {
+		return d.TopPermille(cfg.DefaultPermille), nil
+	}
+	return cfg.DefaultR, nil
+}
+
 // Generate builds the dataset for the given configuration. The same
 // configuration always produces the same dataset.
 func Generate(cfg Config) (*Dataset, error) {

@@ -4,12 +4,34 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 
 	"krcore/internal/attr"
 	"krcore/internal/graph"
 )
+
+// Open resolves the CLI dataset-source convention shared by the
+// commands: exactly one of preset (a built-in name for Load) or file
+// (a path written by datagen, for Read) must be given.
+func Open(preset, file string) (*Dataset, error) {
+	switch {
+	case preset != "" && file != "":
+		return nil, fmt.Errorf("use either -data or -load, not both")
+	case preset != "":
+		return Load(preset)
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return Read(f)
+	default:
+		return nil, fmt.Errorf("need -data <preset> or -load <file>")
+	}
+}
 
 // Save writes the dataset in a line-oriented text format:
 //

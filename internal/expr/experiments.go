@@ -47,6 +47,8 @@ var Experiments = []Experiment{
 	{"parmax", "parallel AdvMax scaling across components (all presets)", ParallelMax},
 	// Beyond the paper: dynamic-update maintenance (PR 3).
 	{"updates", "incremental update latency vs full rebuild (all presets)", DynamicUpdates},
+	// Beyond the paper: HTTP serving throughput (PR 4).
+	{"serve", "HTTP daemon throughput under admission control (geo presets)", Serve},
 }
 
 // Find returns the experiment with the given id, or nil.

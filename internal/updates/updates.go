@@ -18,6 +18,7 @@ package updates
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -78,11 +79,21 @@ func (a weightedAttrs) SetAttributes(u int32, v krcore.VertexAttributes) {
 	a.store.SetVertex(u, entries)
 }
 
-// Parse reads an update stream for the given attribute kind.
-func Parse(r io.Reader, kind attr.Kind) ([]krcore.Update, error) {
+// Stream is a parsed update stream that remembers the source line of
+// every operation, so a replay rejection can point back into the file
+// it came from (Lines[i] is the 1-based line of Ups[i]).
+type Stream struct {
+	Ups   []krcore.Update
+	Lines []int
+}
+
+// ParseStream reads an update stream for the given attribute kind,
+// keeping source line numbers. A malformed line aborts the parse with
+// its line number — nothing of the stream is considered applicable.
+func ParseStream(r io.Reader, kind attr.Kind) (*Stream, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	var ups []krcore.Update
+	s := &Stream{}
 	line := 0
 	for sc.Scan() {
 		line++
@@ -94,12 +105,22 @@ func Parse(r io.Reader, kind attr.Kind) ([]krcore.Update, error) {
 		if err != nil {
 			return nil, fmt.Errorf("updates: line %d: %w", line, err)
 		}
-		ups = append(ups, up)
+		s.Ups = append(s.Ups, up)
+		s.Lines = append(s.Lines, line)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	return ups, nil
+	return s, nil
+}
+
+// Parse reads an update stream for the given attribute kind.
+func Parse(r io.Reader, kind attr.Kind) ([]krcore.Update, error) {
+	s, err := ParseStream(r, kind)
+	if err != nil {
+		return nil, err
+	}
+	return s.Ups, nil
 }
 
 func parseOp(fields []string, kind attr.Kind) (krcore.Update, error) {
@@ -307,6 +328,21 @@ func randomPayload(d *dataset.Dataset, rng *rand.Rand) krcore.VertexAttributes {
 // of committed batches. Invalid updates abort with the position of the
 // failing batch.
 func Replay(eng *krcore.DynamicEngine, ups []krcore.Update, batch int) (int, error) {
+	return replay(eng, ups, nil, batch)
+}
+
+// ReplayStream is Replay with source positions: when a batch is
+// rejected, the error names the 1-based source line of the offending
+// operation (via krcore.BatchError), and — because ApplyBatch is
+// atomic — nothing of that batch has been committed. Earlier batches
+// stay committed; the returned count says how many.
+func (s *Stream) ReplayStream(eng *krcore.DynamicEngine, batch int) (int, error) {
+	return replay(eng, s.Ups, s.Lines, batch)
+}
+
+// replay drives batched ApplyBatch commits, attributing failures to a
+// source line when positions are known.
+func replay(eng *krcore.DynamicEngine, ups []krcore.Update, lines []int, batch int) (int, error) {
 	if batch < 1 {
 		batch = 1
 	}
@@ -317,6 +353,12 @@ func Replay(eng *krcore.DynamicEngine, ups []krcore.Update, batch int) (int, err
 			end = len(ups)
 		}
 		if err := eng.ApplyBatch(ups[off:end]); err != nil {
+			var be *krcore.BatchError
+			if lines != nil && errors.As(err, &be) && off+be.Index < len(lines) {
+				return committed, fmt.Errorf(
+					"updates: line %d: invalid %s update: %w (batch of %d discarded, %d batches committed)",
+					lines[off+be.Index], be.Op, be.Err, end-off, committed)
+			}
 			return committed, fmt.Errorf("updates: batch at op %d: %w", off, err)
 		}
 		committed++

@@ -149,3 +149,67 @@ func TestReplayReportsFailingBatch(t *testing.T) {
 		t.Fatal("invalid update must fail the replay")
 	}
 }
+
+// TestReplayStreamLineNumbersAndAtomicity is the regression test for
+// the -updates replay error handling: a semantically invalid update in
+// mid-stream must abort with the 1-based source line of the offender,
+// and the failing batch must not be partially committed — ApplyBatch
+// atomicity observed through the replay path.
+func TestReplayStreamLineNumbersAndAtomicity(t *testing.T) {
+	d := smallDataset(t, attr.KindGeo)
+	attrs, err := Attrs(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := krcore.NewDynamicEngine(d.Graph, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Line 1 is a comment and line 3 blank, so the ops sit on lines
+	// 2, 4, 5, 6; the invalid edge (endpoint out of range) is line 5.
+	in := "# stream\nae 0 1\n\nae 0 2\nae 0 99999\nae 0 3\n"
+	stream, err := ParseStream(strings.NewReader(in), attr.KindGeo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(stream.Lines) != "[2 4 5 6]" {
+		t.Fatalf("bad line map: %v", stream.Lines)
+	}
+
+	// Batch size 4 puts every op in one batch: the valid "ae 0 2" in
+	// the same batch as the offender must NOT be committed.
+	n0, m0 := eng.N(), eng.M()
+	hadEdge := eng.Graph().HasEdge(0, 2)
+	committed, err := stream.ReplayStream(eng, 4)
+	if err == nil {
+		t.Fatal("invalid stream replayed cleanly")
+	}
+	if committed != 0 {
+		t.Fatalf("committed %d batches, want 0", committed)
+	}
+	if !strings.Contains(err.Error(), "line 5") {
+		t.Fatalf("error does not name line 5: %v", err)
+	}
+	if !strings.Contains(err.Error(), "discarded") {
+		t.Fatalf("error does not state the batch was discarded: %v", err)
+	}
+	if eng.N() != n0 || eng.M() != m0 {
+		t.Fatalf("failed batch partially committed: %d/%d -> %d/%d", n0, m0, eng.N(), eng.M())
+	}
+	if eng.Graph().HasEdge(0, 2) != hadEdge {
+		t.Fatal("valid update from the discarded batch leaked into the graph")
+	}
+
+	// Batch size 1 commits the two leading valid ops, then fails on
+	// line 5 with two batches committed.
+	committed, err = stream.ReplayStream(eng, 1)
+	if err == nil || !strings.Contains(err.Error(), "line 5") {
+		t.Fatalf("want line-5 failure, got %v", err)
+	}
+	if committed != 2 {
+		t.Fatalf("committed %d batches, want 2", committed)
+	}
+	if !strings.Contains(err.Error(), "2 batches committed") {
+		t.Fatalf("error does not report committed batches: %v", err)
+	}
+}

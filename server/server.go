@@ -1,0 +1,473 @@
+// Package server implements the HTTP serving layer behind the krcored
+// daemon: JSON endpoints for the (k,r)-core queries of krcore.Engine
+// and krcore.DynamicEngine, with the production plumbing the in-process
+// engines leave to the caller — per-request deadlines and node budgets
+// mapped onto Limits and context cancellation, an admission-control
+// semaphore bounding concurrent searches (excess requests queue
+// briefly, then 429), and expvar-style serving counters.
+//
+// The package serves an http.Handler; listener lifecycle and graceful
+// shutdown belong to the embedding process (see cmd/krcored, which
+// drains in-flight queries on SIGTERM via http.Server.Shutdown).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"krcore"
+	"krcore/api"
+)
+
+// Backend is the query surface a server fronts. krcore.Engine and
+// krcore.DynamicEngine both implement it.
+type Backend interface {
+	EnumerateContext(ctx context.Context, k int, r float64, opt krcore.EnumOptions) (*krcore.Result, error)
+	EnumerateContainingContext(ctx context.Context, k int, r float64, v int32, opt krcore.EnumOptions) (*krcore.Result, error)
+	FindMaximumContext(ctx context.Context, k int, r float64, opt krcore.MaxOptions) (*krcore.Result, error)
+	Warm(k int, r float64) error
+	Stats() krcore.EngineStats
+	Graph() *krcore.Graph
+}
+
+// Updater is the optional mutation surface: when the backend also
+// implements it (krcore.DynamicEngine does), the server exposes the
+// batch update endpoint.
+type Updater interface {
+	ApplyBatch(batch []krcore.Update) error
+	DynamicStats() krcore.DynamicStats
+}
+
+// Config parameterises a Server. The zero value of every field has a
+// serviceable default.
+type Config struct {
+	// Dataset names the served dataset in PathStats (cosmetic).
+	Dataset string
+
+	// MaxConcurrent bounds the searches running at once; further
+	// requests wait in the admission queue. Default 4.
+	MaxConcurrent int
+	// MaxQueue bounds the requests waiting for a search slot; beyond
+	// it requests are rejected immediately with 429. Default 64.
+	MaxQueue int
+	// QueueWait bounds how long a queued request waits for a slot
+	// before a 429. Default 10s.
+	QueueWait time.Duration
+
+	// DefaultTimeout is the per-request search deadline applied when a
+	// request carries none. Default 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps the per-request deadline. Default 2m.
+	MaxTimeout time.Duration
+	// MaxNodes, when > 0, clamps the per-request node budget; requests
+	// carrying none then run under exactly this cap.
+	MaxNodes int64
+	// MaxParallelism clamps per-request worker counts. Default 8.
+	MaxParallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 10 * time.Second
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxParallelism <= 0 {
+		c.MaxParallelism = 8
+	}
+	return c
+}
+
+// Server serves one backend over HTTP. Create with New, mount via
+// Handler.
+type Server struct {
+	cfg     Config
+	backend Backend
+	updater Updater // nil on static engines
+	mux     *http.ServeMux
+
+	slots    chan struct{}
+	waiters  atomic.Int64
+	inFlight atomic.Int64
+	peak     atomic.Int64
+
+	// updateMu serialises commit + ack-snapshot, so each update
+	// response reports the version and graph size its own batch
+	// produced (ApplyBatch alone is atomic, but a concurrent batch
+	// could land between the commit and reading Version/N/M).
+	updateMu sync.Mutex
+
+	queries  atomic.Int64
+	rejected atomic.Int64
+	errs     atomic.Int64
+	applied  atomic.Int64
+}
+
+// New returns a server fronting the backend. If the backend also
+// implements Updater (krcore.DynamicEngine), the update endpoint is
+// enabled.
+func New(b Backend, cfg Config) (*Server, error) {
+	if b == nil {
+		return nil, errors.New("server: nil backend")
+	}
+	s := &Server{cfg: cfg.withDefaults(), backend: b}
+	s.updater, _ = b.(Updater)
+	s.slots = make(chan struct{}, s.cfg.MaxConcurrent)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET "+api.PathHealth, s.handleHealth)
+	s.mux.HandleFunc("GET "+api.PathStats, s.handleStats)
+	s.mux.HandleFunc("POST "+api.PathEnumerate, s.handleEnumerate)
+	s.mux.HandleFunc("POST "+api.PathMaximum, s.handleMaximum)
+	s.mux.HandleFunc("POST "+api.PathWarm, s.handleWarm)
+	if s.updater != nil {
+		s.mux.HandleFunc("POST "+api.PathUpdate, s.handleUpdate)
+	}
+	return s, nil
+}
+
+// Handler returns the HTTP handler serving every endpoint.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Dynamic reports whether the server accepts updates.
+func (s *Server) Dynamic() bool { return s.updater != nil }
+
+// ServerStats snapshots the serving counters.
+func (s *Server) ServerStats() api.ServerStats {
+	return api.ServerStats{
+		Queries:        s.queries.Load(),
+		Rejected:       s.rejected.Load(),
+		Errors:         s.errs.Load(),
+		UpdatesApplied: s.applied.Load(),
+		InFlight:       s.inFlight.Load(),
+		PeakInFlight:   s.peak.Load(),
+		MaxConcurrent:  int64(s.cfg.MaxConcurrent),
+	}
+}
+
+// errBusy reports an admission-control rejection.
+var errBusy = errors.New("server: all search slots busy")
+
+// acquire takes one search slot, waiting in the bounded admission
+// queue when none is free. It fails with errBusy when the queue is
+// full or the wait exceeds QueueWait, and with ctx.Err() when the
+// request is cancelled while queued.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.waiters.Add(1) > int64(s.cfg.MaxQueue) {
+		s.waiters.Add(-1)
+		return errBusy
+	}
+	defer s.waiters.Add(-1)
+	t := time.NewTimer(s.cfg.QueueWait)
+	defer t.Stop()
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return errBusy
+	}
+}
+
+// release returns a search slot.
+func (s *Server) release() { <-s.slots }
+
+// trackInFlight bumps the in-flight gauge and its observed peak; the
+// returned func undoes the bump.
+func (s *Server) trackInFlight() func() {
+	cur := s.inFlight.Add(1)
+	for {
+		p := s.peak.Load()
+		if cur <= p || s.peak.CompareAndSwap(p, cur) {
+			break
+		}
+	}
+	return func() { s.inFlight.Add(-1) }
+}
+
+// writeJSON writes one JSON response body.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// fail writes an error body and counts it.
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	if status == http.StatusTooManyRequests {
+		s.rejected.Add(1)
+	} else {
+		s.errs.Add(1)
+	}
+	writeJSON(w, status, api.Error{Error: fmt.Sprintf(format, args...)})
+}
+
+// decode parses one JSON request body into dst.
+func decode(r *http.Request, dst any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, api.HealthResponse{Status: "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	est := s.backend.Stats()
+	g := s.backend.Graph()
+	resp := api.StatsResponse{
+		Dataset: s.cfg.Dataset,
+		N:       g.N(),
+		M:       g.M(),
+		Dynamic: s.updater != nil,
+		Engine: api.EngineStats{
+			Hits:       est.Hits,
+			Misses:     est.Misses,
+			Thresholds: est.Thresholds,
+			Prepared:   est.Prepared,
+		},
+		Server: s.ServerStats(),
+	}
+	if s.updater != nil {
+		ds := s.updater.DynamicStats()
+		resp.DynamicEngine = &api.DynamicStats{
+			Updates:           ds.Updates,
+			Batches:           ds.Batches,
+			Version:           ds.Version,
+			IndexesKept:       ds.IndexesKept,
+			IndexesRebuilt:    ds.IndexesRebuilt,
+			ComponentsReused:  ds.ComponentsReused,
+			ComponentsRebuilt: ds.ComponentsRebuilt,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// validateSetting checks a (k,r) pair — the one rejection policy for
+// every endpoint that names a setting (queries and warm alike).
+func validateSetting(k int, r float64) error {
+	if k < 1 {
+		return fmt.Errorf("k must be >= 1, got %d", k)
+	}
+	if math.IsNaN(r) || math.IsInf(r, 0) {
+		return errors.New("r must be a finite number")
+	}
+	return nil
+}
+
+// validateQuery checks the request fields shared by both query kinds.
+func validateQuery(q *api.QueryRequest) error {
+	if err := validateSetting(q.K, q.R); err != nil {
+		return err
+	}
+	if q.TimeoutMS < 0 || q.MaxNodes < 0 || q.Parallelism < 0 {
+		return errors.New("timeout_ms, max_nodes and parallelism must be >= 0")
+	}
+	return nil
+}
+
+// queryContext derives the per-request search context and limits from
+// the request fields, clamped to the server's configuration.
+func (s *Server) queryContext(r *http.Request, q *api.QueryRequest) (context.Context, context.CancelFunc, krcore.Limits, int) {
+	timeout := s.cfg.DefaultTimeout
+	if q.TimeoutMS > 0 {
+		// Clamp in milliseconds BEFORE converting: a huge timeout_ms
+		// would overflow time.Duration's int64 nanoseconds to a
+		// negative value and dodge a post-conversion clamp.
+		ms := q.TimeoutMS
+		if maxMS := s.cfg.MaxTimeout.Milliseconds(); ms > maxMS {
+			ms = maxMS
+		}
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	limits := krcore.Limits{MaxNodes: q.MaxNodes}
+	if s.cfg.MaxNodes > 0 && (limits.MaxNodes == 0 || limits.MaxNodes > s.cfg.MaxNodes) {
+		limits.MaxNodes = s.cfg.MaxNodes
+	}
+	par := q.Parallelism
+	if par > s.cfg.MaxParallelism {
+		par = s.cfg.MaxParallelism
+	}
+	return ctx, cancel, limits, par
+}
+
+// admit takes one admission slot for the request, writing the 429/408
+// rejection itself when none can be had; the caller must release()
+// when admit returns true. One chokepoint for every slot-holding
+// endpoint (queries, warms, updates) so the rejection policy cannot
+// drift between them.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	err := s.acquire(r.Context())
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, errBusy):
+		s.fail(w, http.StatusTooManyRequests, "all %d search slots busy, queue full or wait exceeded", s.cfg.MaxConcurrent)
+	default:
+		s.fail(w, http.StatusRequestTimeout, "cancelled while queued: %v", err)
+	}
+	return false
+}
+
+// runQuery applies admission control around fn and renders its result.
+func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, fn func() (*krcore.Result, error)) {
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.release()
+	defer s.trackInFlight()()
+	res, err := fn()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.queries.Add(1)
+	st := res.Summarize()
+	writeJSON(w, http.StatusOK, api.QueryResponse{
+		Cores:     res.Cores,
+		Count:     st.Count,
+		MaxSize:   st.MaxSize,
+		AvgSize:   st.AvgSize,
+		Nodes:     res.Nodes,
+		TimedOut:  res.TimedOut,
+		ElapsedUS: res.Elapsed.Microseconds(),
+	})
+}
+
+func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
+	var q api.QueryRequest
+	if err := decode(r, &q); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := validateQuery(&q); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.runQuery(w, r, func() (*krcore.Result, error) {
+		ctx, cancel, limits, par := s.queryContext(r, &q)
+		defer cancel()
+		opt := krcore.EnumOptions{Limits: limits, Parallelism: par}
+		if q.Vertex != nil {
+			return s.backend.EnumerateContainingContext(ctx, q.K, q.R, *q.Vertex, opt)
+		}
+		return s.backend.EnumerateContext(ctx, q.K, q.R, opt)
+	})
+}
+
+func (s *Server) handleMaximum(w http.ResponseWriter, r *http.Request) {
+	var q api.QueryRequest
+	if err := decode(r, &q); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := validateQuery(&q); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.runQuery(w, r, func() (*krcore.Result, error) {
+		ctx, cancel, limits, par := s.queryContext(r, &q)
+		defer cancel()
+		return s.backend.FindMaximumContext(ctx, q.K, q.R, krcore.MaxOptions{Limits: limits, Parallelism: par})
+	})
+}
+
+func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
+	var q api.WarmRequest
+	if err := decode(r, &q); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := validateSetting(q.K, q.R); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Warming is preparation work, not search work, but it still
+	// occupies a slot so a warm storm cannot starve live queries.
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.release()
+	if err := s.backend.Warm(q.K, q.R); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.WarmResponse{Prepared: s.backend.Stats().Prepared})
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var q api.UpdateRequest
+	if err := decode(r, &q); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	batch := make([]krcore.Update, 0, len(q.Updates))
+	for i, wu := range q.Updates {
+		up, err := wu.ToUpdate()
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "update %d: %v", i, err)
+			return
+		}
+		batch = append(batch, up)
+	}
+	// Mutations go through admission control too: an update storm must
+	// be sheddable with 429 like any other load — each commit holds the
+	// engine's write lock and rebuilds invalidated state, so unbounded
+	// concurrent updates would starve query traffic with no backpressure.
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.release()
+	s.updateMu.Lock()
+	err := s.updater.ApplyBatch(batch)
+	version := s.updater.DynamicStats().Version
+	g := s.backend.Graph()
+	s.updateMu.Unlock()
+	if err != nil {
+		var be *krcore.BatchError
+		if errors.As(err, &be) {
+			s.fail(w, http.StatusBadRequest, "update %d (%s): %v (batch discarded)", be.Index, be.Op, be.Err)
+		} else {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	s.applied.Add(int64(len(batch)))
+	writeJSON(w, http.StatusOK, api.UpdateResponse{
+		Applied: len(batch),
+		Version: version,
+		N:       g.N(),
+		M:       g.M(),
+	})
+}
