@@ -11,11 +11,22 @@
 //	krcore -data dblp -k 15 -permille 3 -algo max
 //	krcore -load mygraph.txt -k 4 -r 25 -algo enum -show 5
 //	krcore -load mygraph.txt -updates stream.txt -update-batch 16 -k 4 -r 25
+//	krcore -data gowalla -k 5 -r 100 -save engine.snap
+//	krcore -load engine.snap -k 5 -r 100 -algo max
 //
 // Datasets come from the built-in presets (-data) or a file previously
 // written by datagen (-load). For geo datasets -r is a distance in km;
 // for keyword datasets use -r as a metric threshold or -permille for
 // the paper's top-permille calibration.
+//
+// -save writes a versioned engine snapshot after the run: the graph,
+// attributes, similarity index, filtered graph and the prepared (k,r)
+// setting, so a later run warm starts instead of rebuilding. -load
+// detects snapshot files by their magic bytes and loads them directly
+// (queries then reuse every cached structure; -permille, -updates and
+// -algo clique need the raw dataset and are rejected). After an
+// -updates replay, -save writes a dynamic snapshot carrying the
+// journal offset, the recovery point for crash-restart tooling.
 package main
 
 import (
@@ -24,11 +35,13 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
 	"krcore"
 	"krcore/internal/core"
 	"krcore/internal/dataset"
+	"krcore/internal/snapshot"
 	"krcore/internal/updates"
 )
 
@@ -51,7 +64,7 @@ func run(args []string, stdout, stderr io.Writer) (timedOut bool, err error) {
 	fs.SetOutput(stderr)
 	var (
 		data     = fs.String("data", "", "preset dataset name (brightkite, gowalla, dblp, pokec)")
-		load     = fs.String("load", "", "load a dataset file written by datagen")
+		load     = fs.String("load", "", "load a dataset file written by datagen, or an engine snapshot written by -save")
 		k        = fs.Int("k", 5, "degree threshold k")
 		r        = fs.Float64("r", 0, "similarity threshold r (km for geo, metric value otherwise)")
 		permille = fs.Float64("permille", 0, "derive r from the top-permille of pairwise similarity")
@@ -62,9 +75,21 @@ func run(args []string, stdout, stderr io.Writer) (timedOut bool, err error) {
 		show     = fs.Int("show", 0, "print the first N result cores")
 		updFile  = fs.String("updates", "", "replay a dynamic update stream before querying")
 		updBatch = fs.Int("update-batch", 1, "operations per update commit in -updates replay")
+		save     = fs.String("save", "", "write an engine snapshot (warmed at the query setting) after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return false, err
+	}
+
+	if *load != "" && *data == "" {
+		isSnap, err := sniffSnapshot(*load)
+		if err != nil {
+			return false, err
+		}
+		if isSnap {
+			return runSnapshot(stdout, *load, *k, *r, *permille, *algo, *updFile,
+				*save, *show, *budget, *maxNodes, *parallel)
+		}
 	}
 
 	d, err := dataset.Open(*data, *load)
@@ -76,15 +101,31 @@ func run(args []string, stdout, stderr io.Writer) (timedOut bool, err error) {
 		thr = d.TopPermille(*permille)
 		fmt.Fprintf(stdout, "top %g permille -> r = %.4f\n", *permille, thr)
 	}
-	limits := core.Limits{MaxNodes: *maxNodes}
-	if *budget > 0 {
-		limits.Deadline = time.Now().Add(*budget)
-	}
+	limits := limitsFor(*budget, *maxNodes)
 
 	var res *core.Result
 	g := d.Graph
+	var snapSource interface{ SaveSnapshot(io.Writer) error }
 	if *updFile != "" {
-		res, g, err = replayAndQuery(stdout, d, *updFile, *updBatch, *k, thr, *algo, limits, *parallel)
+		var deng *krcore.DynamicEngine
+		res, g, deng, err = replayAndQuery(stdout, d, *updFile, *updBatch, *k, thr, *algo, limits, *parallel)
+		snapSource = deng
+	} else if *save != "" {
+		// A snapshot should carry the warmed query setting, so the run
+		// goes through the serving engine instead of the one-shot path.
+		if *algo == "clique" {
+			return false, fmt.Errorf("-save supports -algo enum or max, not %q", *algo)
+		}
+		eng := krcore.NewEngine(d.Graph, d.Metric())
+		snapSource = eng
+		switch *algo {
+		case "enum":
+			res, err = eng.Enumerate(*k, thr, core.EnumOptions{Limits: limits, Parallelism: *parallel})
+		case "max":
+			res, err = eng.FindMaximum(*k, thr, core.MaxOptions{Limits: limits, Parallelism: *parallel})
+		default:
+			err = fmt.Errorf("unknown -algo %q (want enum or max)", *algo)
+		}
 	} else {
 		params := core.Params{K: *k, Oracle: d.Oracle(thr)}
 		switch *algo {
@@ -102,19 +143,121 @@ func run(args []string, stdout, stderr io.Writer) (timedOut bool, err error) {
 		return false, err
 	}
 
+	printResult(stdout, d.Name, g, *algo, *k, thr, res, *show)
+	if *save != "" {
+		if err := writeSnapshotFile(stdout, snapSource, *save); err != nil {
+			return false, err
+		}
+	}
+	return res.TimedOut, nil
+}
+
+// limitsFor assembles the per-run search limits.
+func limitsFor(budget time.Duration, maxNodes int64) core.Limits {
+	limits := core.Limits{MaxNodes: maxNodes}
+	if budget > 0 {
+		limits.Deadline = time.Now().Add(budget)
+	}
+	return limits
+}
+
+// sniffSnapshot reports whether the file starts with the engine
+// snapshot magic (as written by -save), distinguishing it from the
+// datagen text format.
+func sniffSnapshot(file string) (bool, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	hdr := make([]byte, 8)
+	n, _ := io.ReadFull(f, hdr)
+	return snapshot.IsMagic(hdr[:n]), nil
+}
+
+// runSnapshot serves the query from a loaded engine snapshot: no
+// dataset generation, no index build, no preparation for settings the
+// snapshot already carries.
+func runSnapshot(stdout io.Writer, file string, k int, r, permille float64, algo, updFile,
+	save string, show int, budget time.Duration, maxNodes int64, parallel int) (bool, error) {
+	switch {
+	case permille > 0:
+		return false, fmt.Errorf("-permille needs the raw dataset; query a snapshot with an explicit -r")
+	case updFile != "":
+		return false, fmt.Errorf("-updates needs the raw dataset, not a snapshot (replay journals against krcored checkpoints instead)")
+	case algo == "clique":
+		return false, fmt.Errorf("-algo clique runs on raw datasets only")
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	t0 := time.Now()
+	eng, err := krcore.LoadEngine(f)
+	if err != nil {
+		return false, err
+	}
+	st := eng.Stats()
+	fmt.Fprintf(stdout, "loaded snapshot %s in %v (%d thresholds, %d prepared settings)\n",
+		file, time.Since(t0).Round(time.Microsecond), st.Thresholds, st.Prepared)
+
+	// The budget clock starts after the load, mirroring the dataset
+	// path (whose deadline starts after dataset.Open): -budget bounds
+	// the search, not the warm start.
+	limits := limitsFor(budget, maxNodes)
+	var res *core.Result
+	switch algo {
+	case "enum":
+		res, err = eng.Enumerate(k, r, core.EnumOptions{Limits: limits, Parallelism: parallel})
+	case "max":
+		res, err = eng.FindMaximum(k, r, core.MaxOptions{Limits: limits, Parallelism: parallel})
+	default:
+		err = fmt.Errorf("unknown -algo %q (want enum or max)", algo)
+	}
+	if err != nil {
+		return false, err
+	}
+	printResult(stdout, filepath.Base(file), eng.Graph(), algo, k, r, res, show)
+	if save != "" {
+		if err := writeSnapshotFile(stdout, eng, save); err != nil {
+			return false, err
+		}
+	}
+	return res.TimedOut, nil
+}
+
+// printResult prints the shared result summary.
+func printResult(stdout io.Writer, name string, g *krcore.Graph, algo string, k int,
+	thr float64, res *core.Result, show int) {
 	stats := res.Summarize()
-	fmt.Fprintf(stdout, "dataset %s: %d vertices, %d edges\n", d.Name, g.N(), g.M())
-	fmt.Fprintf(stdout, "algorithm %s, k=%d, r=%.4f: %v", *algo, *k, thr, res.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "dataset %s: %d vertices, %d edges\n", name, g.N(), g.M())
+	fmt.Fprintf(stdout, "algorithm %s, k=%d, r=%.4f: %v", algo, k, thr, res.Elapsed.Round(time.Millisecond))
 	if res.TimedOut {
 		fmt.Fprint(stdout, " (budget exceeded, results incomplete)")
 	}
 	fmt.Fprintln(stdout)
 	fmt.Fprintf(stdout, "cores: %d, max size: %d, avg size: %.1f (search nodes: %d)\n",
 		stats.Count, stats.MaxSize, stats.AvgSize, res.Nodes)
-	for i := 0; i < *show && i < len(res.Cores); i++ {
+	for i := 0; i < show && i < len(res.Cores); i++ {
 		fmt.Fprintf(stdout, "  core %d (%d vertices): %v\n", i+1, len(res.Cores[i]), res.Cores[i])
 	}
-	return res.TimedOut, nil
+}
+
+// writeSnapshotFile saves the engine atomically (temp file + sync +
+// rename, see snapshot.WriteFileAtomic).
+func writeSnapshotFile(stdout io.Writer, s interface{ SaveSnapshot(io.Writer) error }, path string) error {
+	if s == nil {
+		return fmt.Errorf("no engine to snapshot")
+	}
+	t0 := time.Now()
+	size, err := snapshot.WriteFileAtomic(path, s.SaveSnapshot)
+	if err != nil {
+		return fmt.Errorf("save snapshot: %w", err)
+	}
+	fmt.Fprintf(stdout, "snapshot saved to %s (%d bytes, %v)\n",
+		path, size, time.Since(t0).Round(time.Microsecond))
+	return nil
 }
 
 // replayAndQuery wires the dataset into a DynamicEngine, warms the
@@ -123,13 +266,13 @@ func run(args []string, stdout, stderr io.Writer) (timedOut bool, err error) {
 // a live service pays: incremental maintenance of prepared state, not
 // cold preprocessing.
 func replayAndQuery(stdout io.Writer, d *dataset.Dataset, updFile string, batch, k int,
-	thr float64, algo string, limits core.Limits, parallel int) (*core.Result, *krcore.Graph, error) {
+	thr float64, algo string, limits core.Limits, parallel int) (*core.Result, *krcore.Graph, *krcore.DynamicEngine, error) {
 	if algo != "enum" && algo != "max" {
-		return nil, nil, fmt.Errorf("-updates supports -algo enum or max, not %q", algo)
+		return nil, nil, nil, fmt.Errorf("-updates supports -algo enum or max, not %q", algo)
 	}
 	f, err := os.Open(updFile)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	// ParseStream keeps source line numbers: a malformed line aborts
 	// here, before anything is applied, and a semantically invalid
@@ -139,23 +282,23 @@ func replayAndQuery(stdout io.Writer, d *dataset.Dataset, updFile string, batch,
 	stream, err := updates.ParseStream(f, d.Kind)
 	f.Close()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	attrs, err := updates.Attrs(d)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	eng, err := krcore.NewDynamicEngine(d.Graph, attrs)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if err := eng.Warm(k, thr); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	start := time.Now()
 	batches, err := stream.ReplayStream(eng, batch)
 	if err != nil {
-		return nil, nil, fmt.Errorf("replay %s: %w", updFile, err)
+		return nil, nil, nil, fmt.Errorf("replay %s: %w", updFile, err)
 	}
 	elapsed := time.Since(start)
 	ds := eng.DynamicStats()
@@ -172,9 +315,9 @@ func replayAndQuery(stdout io.Writer, d *dataset.Dataset, updFile string, batch,
 		res, err = eng.FindMaximum(k, thr, core.MaxOptions{Limits: limits, Parallelism: parallel})
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return res, eng.Graph(), nil
+	return res, eng.Graph(), eng, nil
 }
 
 func maxInt(a, b int) int {

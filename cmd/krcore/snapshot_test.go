@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runOK runs the command and fails the test on error or time-out.
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	timedOut, err := run(args, &out, &out)
+	if err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	if timedOut {
+		t.Fatalf("run(%v) timed out", args)
+	}
+	return out.String()
+}
+
+// TestRunSaveAndLoadSnapshot is the warm-start round trip: a dataset
+// run with -save, then the same query served from the snapshot, must
+// print the identical result summary without touching the dataset.
+func TestRunSaveAndLoadSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	data, _ := writeSmallDataset(t, dir)
+	snap := filepath.Join(dir, "engine.snap")
+
+	first := runOK(t, "-load", data, "-k", "4", "-r", "12", "-algo", "enum", "-save", snap)
+	if !strings.Contains(first, "snapshot saved to "+snap) {
+		t.Fatalf("missing save confirmation: %q", first)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	second := runOK(t, "-load", snap, "-k", "4", "-r", "12", "-algo", "enum")
+	if !strings.Contains(second, "loaded snapshot "+snap) {
+		t.Fatalf("snapshot not detected by -load: %q", second)
+	}
+	if !strings.Contains(second, "1 prepared settings") {
+		t.Fatalf("snapshot did not carry the warmed setting: %q", second)
+	}
+	// The cores line must be identical across the rebuild and the
+	// warm start.
+	coreLine := func(s string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "cores:") {
+				return line
+			}
+		}
+		t.Fatalf("no cores line in %q", s)
+		return ""
+	}
+	if coreLine(first) != coreLine(second) {
+		t.Fatalf("snapshot run answered differently:\n%q\n%q", coreLine(first), coreLine(second))
+	}
+
+	// The maximum search works from the same snapshot too.
+	if out := runOK(t, "-load", snap, "-k", "4", "-r", "12", "-algo", "max"); !strings.Contains(out, "cores:") {
+		t.Fatalf("max on snapshot: %q", out)
+	}
+	// Re-saving a loaded snapshot keeps it byte-identical (canonical
+	// encoding end to end).
+	resnap := filepath.Join(dir, "engine2.snap")
+	runOK(t, "-load", snap, "-k", "4", "-r", "12", "-save", resnap)
+	a, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(resnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("snapshot changed across a load/save cycle")
+	}
+}
+
+// TestRunSaveAfterUpdates checks -updates + -save writes a dynamic
+// snapshot that a later run can serve queries from.
+func TestRunSaveAfterUpdates(t *testing.T) {
+	dir := t.TempDir()
+	data, ups := writeSmallDataset(t, dir)
+	snap := filepath.Join(dir, "dyn.snap")
+	out := runOK(t, "-load", data, "-updates", ups, "-update-batch", "8",
+		"-k", "4", "-r", "12", "-save", snap)
+	if !strings.Contains(out, "snapshot saved to "+snap) {
+		t.Fatalf("missing save confirmation: %q", out)
+	}
+	if out := runOK(t, "-load", snap, "-k", "4", "-r", "12"); !strings.Contains(out, "cores:") {
+		t.Fatalf("query on dynamic snapshot: %q", out)
+	}
+}
+
+// TestRunSnapshotErrors covers the combinations a snapshot input
+// rejects.
+func TestRunSnapshotErrors(t *testing.T) {
+	dir := t.TempDir()
+	data, ups := writeSmallDataset(t, dir)
+	snap := filepath.Join(dir, "engine.snap")
+	runOK(t, "-load", data, "-k", "4", "-r", "12", "-save", snap)
+
+	cases := [][]string{
+		{"-load", snap, "-permille", "3"},                               // permille needs the dataset
+		{"-load", snap, "-updates", ups},                                // replay needs the dataset
+		{"-load", snap, "-algo", "clique"},                              // clique needs the dataset
+		{"-load", snap, "-algo", "nosuch"},                              // unknown algorithm
+		{"-load", data, "-algo", "clique", "-save", snap},               // clique cannot warm an engine
+		{"-load", data, "-save", filepath.Join(dir, "nodir", "x.snap")}, // unwritable target
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if _, err := run(args, &out, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+
+	// A corrupt snapshot fails with a snapshot format error.
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	bad := filepath.Join(dir, "bad.snap")
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if _, err := run([]string{"-load", bad, "-k", "4", "-r", "12"}, &out, &out); err == nil ||
+		!strings.Contains(err.Error(), "snapshot") {
+		t.Fatalf("corrupt snapshot error = %v, want snapshot format error", err)
+	}
+}

@@ -11,6 +11,8 @@
 //	krcored -data gowalla -warm 5
 //	krcored -data brightkite -addr 127.0.0.1:8420 -concurrency 8
 //	krcored -load mygraph.txt -dynamic -warm 4:12,5:12
+//	krcored -data brightkite -warm 5 -snapshot-save checkpoint.snap
+//	krcored -snapshot checkpoint.snap -addr 127.0.0.1:8420
 //
 //	curl -s localhost:8420/v1/enumerate -d '{"k":5,"r":10}'
 //	curl -s localhost:8420/v1/stats
@@ -20,6 +22,21 @@
 // concurrent searches with an admission-control semaphore (-concurrency,
 // excess requests queue up to -queue-wait, then 429), and drains
 // in-flight queries before exiting on SIGINT/SIGTERM.
+//
+// # Checkpoints
+//
+// -snapshot-save names a checkpoint file: the daemon writes its engine
+// snapshot there — graph, attributes, similarity indexes, filtered
+// graphs and every prepared (k,r) setting — on SIGUSR1 and again after
+// the shutdown drain, atomically (temp file + rename), so a crash
+// mid-write never corrupts the previous checkpoint. -snapshot starts
+// the daemon from such a file instead of -data/-load, warm in
+// milliseconds: every setting the checkpoint carries serves its first
+// query as a cache hit. Dynamic checkpoints carry the update journal
+// offset; an operator feeding the daemon from an external journal
+// resumes it from that offset after a crash (kill -9) restart. A
+// failed checkpoint write on SIGUSR1 is logged and serving continues;
+// on the shutdown path it makes the daemon exit non-zero.
 package main
 
 import (
@@ -33,6 +50,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -40,6 +58,7 @@ import (
 
 	"krcore"
 	"krcore/internal/dataset"
+	"krcore/internal/snapshot"
 	"krcore/internal/updates"
 	"krcore/server"
 )
@@ -54,15 +73,24 @@ func main() {
 	}
 }
 
+// snapshotter is the save surface shared by both engine flavours.
+type snapshotter interface {
+	SaveSnapshot(w io.Writer) error
+}
+
 // run executes one daemon lifetime: it serves until ctx is cancelled
 // (SIGINT/SIGTERM in production, the test harness otherwise), then
-// drains in-flight queries and returns.
+// drains in-flight queries and returns. Every write on the shutdown
+// path is checked: a daemon that cannot drain, log its drain, or
+// persist its final checkpoint exits non-zero with the cause logged.
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("krcored", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
 		data        = fs.String("data", "", "preset dataset name (brightkite, gowalla, dblp, pokec)")
 		load        = fs.String("load", "", "load a dataset file written by datagen")
+		snapLoad    = fs.String("snapshot", "", "start from an engine snapshot file (instead of -data/-load)")
+		snapSave    = fs.String("snapshot-save", "", "checkpoint file written on SIGUSR1 and after the shutdown drain")
 		addr        = fs.String("addr", "127.0.0.1:8420", "listen address (host:port; port 0 picks a free port)")
 		dynamic     = fs.Bool("dynamic", false, "serve the mutable engine and accept /v1/update batches")
 		concurrency = fs.Int("concurrency", 4, "searches running at once (admission-control limit)")
@@ -79,27 +107,33 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	d, err := dataset.Open(*data, *load)
+	if *snapSave != "" {
+		// Pure flag validation, so a misconfigured checkpoint path
+		// fails in milliseconds — before the engine build the flag
+		// exists to make avoidable.
+		if _, err := os.Stat(filepath.Dir(*snapSave)); err != nil {
+			return fmt.Errorf("-snapshot-save: %w", err)
+		}
+	}
+	// Capture checkpoint signals before any long-running build: an
+	// un-Notify'd SIGUSR1 would kill the process with its default
+	// disposition. A signal arriving during warm-up queues in the
+	// channel and is served once the daemon starts serving.
+	usr1 := make(chan os.Signal, 1)
+	if len(checkpointSignals) > 0 {
+		// Registering zero signals would subscribe to all of them, so
+		// the platform-gated empty set must skip Notify entirely.
+		signal.Notify(usr1, checkpointSignals...)
+		defer signal.Stop(usr1)
+	}
+
+	backend, d, name, err := openBackend(stdout, *snapLoad, *data, *load, *dynamic)
 	if err != nil {
 		return err
 	}
-	var backend server.Backend
-	if *dynamic {
-		attrs, err := updates.Attrs(d)
-		if err != nil {
-			return err
-		}
-		deng, err := krcore.NewDynamicEngine(d.Graph, attrs)
-		if err != nil {
-			return err
-		}
-		backend = deng
-	} else {
-		backend = krcore.NewEngine(d.Graph, d.Metric())
-	}
 
 	srv, err := server.New(backend, server.Config{
-		Dataset:        d.Name,
+		Dataset:        name,
 		MaxConcurrent:  *concurrency,
 		MaxQueue:       *queue,
 		QueueWait:      *queueWait,
@@ -142,18 +176,35 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		mode = "dynamic"
 	}
 	g := backend.Graph()
-	fmt.Fprintf(stdout, "serving %s (%d vertices, %d edges, %s engine)\n", d.Name, g.N(), g.M(), mode)
+	fmt.Fprintf(stdout, "serving %s (%d vertices, %d edges, %s engine)\n", name, g.N(), g.M(), mode)
 	fmt.Fprintf(stdout, "listening on http://%s\n", ln.Addr())
 
 	hs := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	select {
-	case err := <-errc:
-		return err // listener failed before shutdown was requested
-	case <-ctx.Done():
+serve:
+	for {
+		select {
+		case err := <-errc:
+			return err // listener failed before shutdown was requested
+		case <-usr1:
+			// A checkpoint failure while serving is logged, not fatal:
+			// the daemon keeps answering queries and the previous
+			// checkpoint file stays intact (atomic rename).
+			if *snapSave == "" {
+				fmt.Fprintln(stdout, "SIGUSR1 ignored: no -snapshot-save path configured")
+				continue
+			}
+			if err := writeCheckpoint(stdout, backend, *snapSave); err != nil {
+				log.Printf("checkpoint: %v", err)
+			}
+		case <-ctx.Done():
+			break serve
+		}
 	}
-	fmt.Fprintln(stdout, "shutting down: draining in-flight queries")
+	if err := emit(stdout, "shutting down: draining in-flight queries\n"); err != nil {
+		return err
+	}
 	sctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil {
@@ -162,8 +213,98 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	fmt.Fprintln(stdout, "bye")
+	if *snapSave != "" {
+		// The final checkpoint runs after the drain, so it captures
+		// every committed update; a write failure here must surface as
+		// a non-zero exit, or a supervisor would restart from a stale
+		// checkpoint without anyone noticing.
+		if err := writeCheckpoint(stdout, backend, *snapSave); err != nil {
+			return fmt.Errorf("shutdown checkpoint: %w", err)
+		}
+	}
+	return emit(stdout, "bye\n")
+}
+
+// emit writes one log line, surfacing the write error: the shutdown
+// path treats a broken stdout (closed pipe under a supervisor) as a
+// reportable failure instead of silently dropping the drain record.
+func emit(w io.Writer, format string, args ...any) error {
+	if _, err := fmt.Fprintf(w, format, args...); err != nil {
+		return fmt.Errorf("write log: %w", err)
+	}
 	return nil
+}
+
+// openBackend resolves the engine source: an engine snapshot, or a
+// dataset (preset or file) built from scratch. It returns the backend,
+// the dataset when one was loaded (nil for snapshots; -warm then needs
+// explicit k:r settings), and the serving name for /v1/stats.
+func openBackend(stdout io.Writer, snapLoad, data, load string, dynamic bool) (server.Backend, *dataset.Dataset, string, error) {
+	if snapLoad != "" {
+		if data != "" || load != "" {
+			return nil, nil, "", fmt.Errorf("use -snapshot or -data/-load, not both")
+		}
+		f, err := os.Open(snapLoad)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		defer f.Close()
+		t0 := time.Now()
+		var backend server.Backend
+		if dynamic {
+			deng, err := krcore.LoadDynamicEngine(f)
+			if err != nil {
+				return nil, nil, "", fmt.Errorf("load snapshot %s: %w", snapLoad, err)
+			}
+			fmt.Fprintf(stdout, "loaded dynamic snapshot %s in %v (journal offset %d)\n",
+				snapLoad, time.Since(t0).Round(time.Microsecond), deng.JournalOffset())
+			backend = deng
+		} else {
+			eng, err := krcore.LoadEngine(f)
+			if err != nil {
+				return nil, nil, "", fmt.Errorf("load snapshot %s: %w", snapLoad, err)
+			}
+			st := eng.Stats()
+			fmt.Fprintf(stdout, "loaded snapshot %s in %v (%d thresholds, %d prepared settings)\n",
+				snapLoad, time.Since(t0).Round(time.Microsecond), st.Thresholds, st.Prepared)
+			backend = eng
+		}
+		return backend, nil, filepath.Base(snapLoad), nil
+	}
+
+	d, err := dataset.Open(data, load)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	if dynamic {
+		attrs, err := updates.Attrs(d)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		deng, err := krcore.NewDynamicEngine(d.Graph, attrs)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return deng, d, d.Name, nil
+	}
+	return krcore.NewEngine(d.Graph, d.Metric()), d, d.Name, nil
+}
+
+// writeCheckpoint persists the backend's snapshot atomically (temp
+// file + sync + rename, see snapshot.WriteFileAtomic), so readers and
+// crash restarts only ever see complete checkpoints.
+func writeCheckpoint(stdout io.Writer, backend server.Backend, path string) error {
+	s, ok := backend.(snapshotter)
+	if !ok {
+		return fmt.Errorf("backend %T cannot snapshot", backend)
+	}
+	t0 := time.Now()
+	size, err := snapshot.WriteFileAtomic(path, s.SaveSnapshot)
+	if err != nil {
+		return err
+	}
+	return emit(stdout, "checkpoint saved to %s (%d bytes, %v)\n",
+		path, size, time.Since(t0).Round(time.Millisecond))
 }
 
 // warmSpec is one pre-built (k,r) setting.
@@ -173,7 +314,8 @@ type warmSpec struct {
 }
 
 // parseWarm parses the -warm flag: a comma-separated list of "k" (the
-// dataset's default threshold) or "k:r" items.
+// dataset's default threshold) or "k:r" items. d is nil for
+// snapshot-loaded engines, where only explicit k:r items resolve.
 func parseWarm(s string, d *dataset.Dataset) ([]warmSpec, error) {
 	var (
 		specs      []warmSpec
@@ -183,6 +325,9 @@ func parseWarm(s string, d *dataset.Dataset) ([]warmSpec, error) {
 	defThreshold := func() (float64, error) {
 		if haveThr {
 			return defaultThr, nil
+		}
+		if d == nil {
+			return 0, fmt.Errorf("-warm %q: a snapshot has no default threshold; use k:r", s)
 		}
 		thr, err := d.DefaultThreshold()
 		if err != nil {

@@ -1,0 +1,50 @@
+//go:build !windows
+
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"krcore"
+)
+
+// TestDaemonSigusr1Checkpoint checks SIGUSR1 triggers a live
+// checkpoint without interrupting serving.
+func TestDaemonSigusr1Checkpoint(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "ck.snap")
+	c, shutdown := startDaemon(t,
+		"-data", "brightkite", "-addr", "127.0.0.1:0", "-warm", "4:25", "-snapshot-save", ck)
+	defer shutdown()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGUSR1); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(ck); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("SIGUSR1 wrote no checkpoint")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Serving continues after the checkpoint.
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoint is immediately loadable.
+	f, err := os.Open(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := krcore.LoadEngine(f); err != nil {
+		t.Fatalf("SIGUSR1 checkpoint unloadable: %v", err)
+	}
+}

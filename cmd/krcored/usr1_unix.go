@@ -1,0 +1,12 @@
+//go:build !windows
+
+package main
+
+import (
+	"os"
+	"syscall"
+)
+
+// checkpointSignals are the signals that trigger a live checkpoint
+// write to the -snapshot-save path: SIGUSR1 everywhere it exists.
+var checkpointSignals = []os.Signal{syscall.SIGUSR1}

@@ -1,0 +1,9 @@
+//go:build windows
+
+package main
+
+import "os"
+
+// checkpointSignals is empty on Windows, which has no user signals;
+// checkpoints are still written on the shutdown drain.
+var checkpointSignals []os.Signal

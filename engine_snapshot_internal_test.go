@@ -1,0 +1,48 @@
+package krcore
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSnapshotStateSkipsOrphanedPrepared pins the capture-race fix in
+// snapshotState: when a prepared (k,r) entry's threshold was captured
+// as half-built (oracle-only) — which happens when a concurrent query
+// finishes preparing between the two capture loops — the setting must
+// be skipped like any other mid-construction entry, not turned into a
+// snapshot.Write error that would spuriously fail a checkpoint.
+func TestSnapshotStateSkipsOrphanedPrepared(t *testing.T) {
+	g, geo := buildServingInstance()
+	eng := NewEngine(g, geo.Metric())
+	if err := eng.Warm(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Warm(3, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Recreate the race window deterministically: the (k=2, r=4)
+	// threshold looks oracle-only while its prepared entry is ready.
+	eng.mu.Lock()
+	eng.byR[4] = oracleOnlyREntry(eng.byR[4].oracle)
+	eng.mu.Unlock()
+
+	var buf bytes.Buffer
+	if err := eng.SaveSnapshot(&buf); err != nil {
+		t.Fatalf("half-built threshold broke the snapshot: %v", err)
+	}
+	loaded, err := LoadEngine(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := loaded.Stats()
+	if st.Thresholds != 2 || st.Prepared != 1 {
+		t.Fatalf("want both thresholds and only the fully-anchored setting: %+v", st)
+	}
+	// The dropped setting rebuilds lazily and correctly.
+	if err := loaded.Warm(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if st := loaded.Stats(); st.Prepared != 2 {
+		t.Fatalf("orphaned setting did not rebuild: %+v", st)
+	}
+}

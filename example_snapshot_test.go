@@ -1,0 +1,65 @@
+package krcore_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"krcore"
+)
+
+// Example_snapshot shows versioned snapshot persistence: a warmed
+// engine saves its graph, attribute store, similarity index, filtered
+// graph and prepared (k,r) settings; a "restarted" process loads the
+// snapshot and serves the same settings as immediate cache hits
+// instead of rebuilding them.
+func Example_snapshot() {
+	// Two dense friend groups bridged by one edge.
+	b := krcore.NewGraphBuilder(9)
+	groups := [][]int32{{0, 1, 2, 3, 4}, {5, 6, 7, 8}}
+	for _, g := range groups {
+		for i := 0; i < len(g); i++ {
+			for j := i + 1; j < len(g); j++ {
+				b.AddEdge(g[i], g[j])
+			}
+		}
+	}
+	b.AddEdge(4, 5)
+	g := b.Build()
+
+	geo := krcore.NewGeoAttributes(9)
+	for _, v := range groups[0] {
+		geo.Set(v, 0, float64(v)) // downtown
+	}
+	for _, v := range groups[1] {
+		geo.Set(v, 100, float64(v)) // the suburbs
+	}
+
+	// Build and warm the engine, then save it. In production the
+	// snapshot goes to a file (see cmd/krcored's -snapshot-save).
+	eng := krcore.NewEngine(g, geo.Metric())
+	if err := eng.Warm(2, 10); err != nil {
+		panic(err)
+	}
+	var snapshot bytes.Buffer
+	if err := eng.SaveSnapshot(&snapshot); err != nil {
+		panic(err)
+	}
+	fmt.Println("snapshot bytes >", snapshot.Len() > 0)
+
+	// "Restart": load the snapshot instead of rebuilding. The warmed
+	// setting answers as a cache hit; traffic counters start at zero.
+	restarted, err := krcore.LoadEngine(&snapshot)
+	if err != nil {
+		panic(err)
+	}
+	res, _ := restarted.Enumerate(2, 10, krcore.EnumOptions{})
+	fmt.Println("communities:", len(res.Cores))
+
+	st := restarted.Stats()
+	fmt.Printf("cache: %d settings prepared, %d hits, %d misses\n",
+		st.Prepared, st.Hits, st.Misses)
+	// Output:
+	// snapshot bytes > true
+	// communities: 2
+	// cache: 1 settings prepared, 1 hits, 0 misses
+}

@@ -1,0 +1,98 @@
+package attr
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"krcore/internal/binenc"
+)
+
+func TestGeoBinaryRoundTrip(t *testing.T) {
+	s := NewGeo(4)
+	s.SetVertex(0, Point{X: 1.5, Y: -2})
+	s.SetVertex(3, Point{X: math.Pi, Y: 0})
+	var b binenc.Buffer
+	s.AppendBinary(&b)
+	got, err := DecodeGeo(binenc.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 4 || got.Vertex(0) != s.Vertex(0) || got.Vertex(3) != s.Vertex(3) {
+		t.Fatalf("decoded geo store differs: %+v", got)
+	}
+	if _, err := DecodeGeo(binenc.NewReader(b.Bytes()[:10])); err == nil {
+		t.Fatal("truncated geo store accepted")
+	}
+}
+
+// TestKeywordsBinaryCanonical checks that a store with backing-slice
+// holes (from slot reuse) re-encodes compactly and byte-stably.
+func TestKeywordsBinaryCanonical(t *testing.T) {
+	s := NewKeywords(3)
+	s.SetVertex(0, []int32{5, 1, 3})
+	s.SetVertex(1, []int32{2})
+	s.SetVertex(0, []int32{7, 9, 11, 13}) // abandons the old slot
+	var b binenc.Buffer
+	s.AppendBinary(&b)
+	got, err := DecodeKeywords(binenc.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := int32(0); u < 3; u++ {
+		if fmt.Sprint(got.Vertex(u)) != fmt.Sprint(s.Vertex(u)) {
+			t.Fatalf("vertex %d: %v != %v", u, got.Vertex(u), s.Vertex(u))
+		}
+	}
+	var b2 binenc.Buffer
+	got.AppendBinary(&b2)
+	if string(b.Bytes()) != string(b2.Bytes()) {
+		t.Fatal("re-encode not byte-stable")
+	}
+}
+
+func TestDecodeKeywordsRejectsUnsorted(t *testing.T) {
+	var b binenc.Buffer
+	b.U64(1) // one vertex
+	b.U32(2) // two keys
+	b.U32(4) // key 4
+	b.U32(2) // key 2: not ascending
+	if _, err := DecodeKeywords(binenc.NewReader(b.Bytes())); err == nil {
+		t.Fatal("unsorted keyword set accepted")
+	}
+}
+
+func TestWeightedBinaryRoundTrip(t *testing.T) {
+	s := NewWeighted(2)
+	s.SetVertex(0, []WeightedEntry{{Key: 3, Weight: 2}, {Key: 1, Weight: 0.5}})
+	s.SetVertex(1, []WeightedEntry{{Key: 9, Weight: 4}})
+	var b binenc.Buffer
+	s.AppendBinary(&b)
+	got, err := DecodeWeighted(binenc.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := int32(0); u < 2; u++ {
+		if fmt.Sprint(got.Vertex(u)) != fmt.Sprint(s.Vertex(u)) {
+			t.Fatalf("vertex %d: %v != %v", u, got.Vertex(u), s.Vertex(u))
+		}
+	}
+	var b2 binenc.Buffer
+	got.AppendBinary(&b2)
+	if string(b.Bytes()) != string(b2.Bytes()) {
+		t.Fatal("re-encode not byte-stable")
+	}
+}
+
+func TestDecodeWeightedRejectsBadWeights(t *testing.T) {
+	for _, w := range []float64{-1, math.NaN(), math.Inf(1)} {
+		s := NewWeighted(1)
+		s.SetVertex(0, []WeightedEntry{{Key: 1, Weight: 1}})
+		s.weights[0] = w // bypass SetVertex to plant the bad weight
+		var b binenc.Buffer
+		s.AppendBinary(&b)
+		if _, err := DecodeWeighted(binenc.NewReader(b.Bytes())); err == nil {
+			t.Fatalf("weight %g accepted", w)
+		}
+	}
+}

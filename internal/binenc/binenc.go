@@ -1,0 +1,190 @@
+// Package binenc provides the fixed-width little-endian primitives
+// shared by the snapshot encode/decode hooks of the data-structure
+// packages (graph, attr, simgraph, simindex, core). The encoding is
+// deliberately dumb — no varints, no compression — so that a value
+// always encodes to the same bytes on every platform, which is what
+// makes snapshot re-encoding byte-stable and golden files portable.
+//
+// Buffer appends primitives; Reader consumes them with a sticky error,
+// so decode code reads fields linearly and checks Err once. Every
+// slice read guards its element count against the bytes actually
+// remaining, so a corrupt length can never trigger an outsized
+// allocation.
+package binenc
+
+import (
+	"encoding/binary"
+	"io"
+	"math"
+)
+
+// Buffer accumulates an encoded payload.
+type Buffer struct{ b []byte }
+
+// Bytes returns the encoded payload.
+func (b *Buffer) Bytes() []byte { return b.b }
+
+// Len returns the number of bytes encoded so far.
+func (b *Buffer) Len() int { return len(b.b) }
+
+// U8 appends one byte.
+func (b *Buffer) U8(v uint8) { b.b = append(b.b, v) }
+
+// U32 appends a little-endian uint32.
+func (b *Buffer) U32(v uint32) { b.b = binary.LittleEndian.AppendUint32(b.b, v) }
+
+// U64 appends a little-endian uint64.
+func (b *Buffer) U64(v uint64) { b.b = binary.LittleEndian.AppendUint64(b.b, v) }
+
+// F64 appends the IEEE-754 bit pattern of v.
+func (b *Buffer) F64(v float64) { b.U64(math.Float64bits(v)) }
+
+// I32s appends a length-prefixed int32 slice.
+func (b *Buffer) I32s(v []int32) {
+	b.U64(uint64(len(v)))
+	for _, x := range v {
+		b.U32(uint32(x))
+	}
+}
+
+// I64s appends a length-prefixed int64 slice.
+func (b *Buffer) I64s(v []int64) {
+	b.U64(uint64(len(v)))
+	for _, x := range v {
+		b.U64(uint64(x))
+	}
+}
+
+// F64s appends a length-prefixed float64 slice.
+func (b *Buffer) F64s(v []float64) {
+	b.U64(uint64(len(v)))
+	for _, x := range v {
+		b.F64(x)
+	}
+}
+
+// Reader consumes a payload produced by Buffer. The first decode
+// failure (underflow) sticks: every later read returns a zero value
+// and Err reports io.ErrUnexpectedEOF.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over the payload.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the sticky decode error, nil while all reads succeeded.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+// take consumes n bytes, or sets the sticky error on underflow.
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.Remaining() < n {
+		r.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	s := r.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	s := r.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	s := r.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+// F64 reads an IEEE-754 float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Raw consumes n bytes and returns them as a view into the payload
+// (nil and a sticky error on underflow). Decode hot paths read a whole
+// block once and convert in a tight loop instead of paying the
+// per-element read overhead.
+func (r *Reader) Raw(n int) []byte { return r.take(n) }
+
+// Count reads a u64 element count and validates it against the bytes
+// remaining (each element occupying at least elemSize bytes), so a
+// corrupt count fails with ErrUnexpectedEOF instead of driving a huge
+// allocation. elemSize must be >= 1.
+func (r *Reader) Count(elemSize int) int {
+	n := r.U64()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(r.Remaining()/elemSize) {
+		r.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	return int(n)
+}
+
+// I32s reads a length-prefixed int32 slice (nil when empty).
+func (r *Reader) I32s() []int32 {
+	n := r.Count(4)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	raw := r.take(4 * n)
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out
+}
+
+// I64s reads a length-prefixed int64 slice (nil when empty).
+func (r *Reader) I64s() []int64 {
+	n := r.Count(8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	raw := r.take(8 * n)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return out
+}
+
+// F64s reads a length-prefixed float64 slice (nil when empty).
+func (r *Reader) F64s() []float64 {
+	n := r.Count(8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	raw := r.take(8 * n)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return out
+}

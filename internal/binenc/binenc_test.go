@@ -1,0 +1,98 @@
+package binenc
+
+import (
+	"io"
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var b Buffer
+	b.U8(7)
+	b.U32(0xdeadbeef)
+	b.U64(1 << 40)
+	b.F64(-3.25)
+	b.F64(math.NaN())
+	b.I32s([]int32{-1, 0, 5})
+	b.I32s(nil)
+	b.I64s([]int64{-9, 1 << 50})
+	b.F64s([]float64{0.5, -0.5})
+
+	r := NewReader(b.Bytes())
+	if got := r.U8(); got != 7 {
+		t.Fatalf("U8 = %d", got)
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Fatalf("U32 = %x", got)
+	}
+	if got := r.U64(); got != 1<<40 {
+		t.Fatalf("U64 = %d", got)
+	}
+	if got := r.F64(); got != -3.25 {
+		t.Fatalf("F64 = %g", got)
+	}
+	if got := r.F64(); !math.IsNaN(got) {
+		t.Fatalf("F64 NaN = %g", got)
+	}
+	if got := r.I32s(); len(got) != 3 || got[0] != -1 || got[2] != 5 {
+		t.Fatalf("I32s = %v", got)
+	}
+	if got := r.I32s(); got != nil {
+		t.Fatalf("empty I32s = %v, want nil", got)
+	}
+	if got := r.I64s(); len(got) != 2 || got[0] != -9 || got[1] != 1<<50 {
+		t.Fatalf("I64s = %v", got)
+	}
+	if got := r.F64s(); len(got) != 2 || got[1] != -0.5 {
+		t.Fatalf("F64s = %v", got)
+	}
+	if r.Remaining() != 0 || r.Err() != nil {
+		t.Fatalf("remaining %d, err %v", r.Remaining(), r.Err())
+	}
+}
+
+func TestUnderflowSticks(t *testing.T) {
+	var b Buffer
+	b.U32(1)
+	r := NewReader(b.Bytes())
+	r.U32()
+	if got := r.U64(); got != 0 || r.Err() != io.ErrUnexpectedEOF {
+		t.Fatalf("underflow: got %d, err %v", got, r.Err())
+	}
+	// Every later read keeps failing without panicking.
+	if got := r.I32s(); got != nil || r.Err() != io.ErrUnexpectedEOF {
+		t.Fatalf("sticky error lost: %v, %v", got, r.Err())
+	}
+}
+
+// TestCorruptCountDoesNotAllocate feeds a length prefix far beyond the
+// payload: the guarded Count must fail instead of allocating.
+func TestCorruptCountDoesNotAllocate(t *testing.T) {
+	var b Buffer
+	b.U64(1 << 60) // claims 2^60 elements
+	b.U32(0)
+	for _, read := range []func(*Reader){
+		func(r *Reader) { r.I32s() },
+		func(r *Reader) { r.I64s() },
+		func(r *Reader) { r.F64s() },
+	} {
+		r := NewReader(b.Bytes())
+		read(r)
+		if r.Err() != io.ErrUnexpectedEOF {
+			t.Fatalf("corrupt count accepted: %v", r.Err())
+		}
+	}
+}
+
+func TestDeterministicBytes(t *testing.T) {
+	enc := func() []byte {
+		var b Buffer
+		b.F64(1.5)
+		b.I32s([]int32{3, 1})
+		return b.Bytes()
+	}
+	a, c := enc(), enc()
+	if string(a) != string(c) {
+		t.Fatal("same values encoded to different bytes")
+	}
+}

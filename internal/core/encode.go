@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"krcore/internal/binenc"
+	"krcore/internal/graph"
+	"krcore/internal/simgraph"
+	"krcore/internal/similarity"
+)
+
+// K returns the engagement threshold the problem was prepared for.
+func (pr *Prepared) K() int { return pr.p.K }
+
+// AppendPrepared serialises the candidate components of one (k,r)
+// problem: K, the source-graph vertex count, then per component the
+// structural adjacency, the dissimilarity lists and the local-to-global
+// vertex mapping. Derived state (maxDeg, the byDeg order, pair counts)
+// is recomputed on decode, keeping the encoding canonical.
+func AppendPrepared(b *binenc.Buffer, pr *Prepared) {
+	b.U32(uint32(pr.p.K))
+	b.U64(uint64(pr.n))
+	b.U64(uint64(len(pr.probs)))
+	for _, p := range pr.probs {
+		graph.AppendAdjacency(b, p.adj)
+		simgraph.AppendDissim(b, &simgraph.Dissim{Lists: p.dissim, Pairs: p.pairs})
+		b.I32s(p.orig)
+	}
+}
+
+// DecodePrepared reconstructs a Prepared written by AppendPrepared.
+// The oracle supplies the similarity half of its Params (the oracle is
+// rebuilt by the snapshot layer, it is not part of this payload);
+// wantN anchors the source-graph vertex count. Every structural
+// invariant the searches assume is re-validated: component adjacency
+// and dissimilarity lists sorted and in local range, local and global
+// vertex counts consistent, the local-to-global mapping strictly
+// ascending within the source graph.
+func DecodePrepared(r *binenc.Reader, o *similarity.Oracle, wantN int) (*Prepared, error) {
+	k := int(r.U32())
+	n := int(r.U64())
+	cnt := r.Count(16) // each component occupies well above 16 bytes
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("core: prepared: %w", err)
+	}
+	if n != wantN {
+		return nil, fmt.Errorf("core: prepared for %d vertices, graph has %d", n, wantN)
+	}
+	pr := &Prepared{p: Params{K: k, Oracle: o}, n: n}
+	if err := pr.p.validate(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cnt; i++ {
+		adj, _, err := graph.DecodeAdjacency(r)
+		if err != nil {
+			return nil, fmt.Errorf("core: component %d adjacency: %w", i, err)
+		}
+		d, err := simgraph.DecodeDissim(r)
+		if err != nil {
+			return nil, fmt.Errorf("core: component %d: %w", i, err)
+		}
+		if len(d.Lists) != len(adj) {
+			return nil, fmt.Errorf("core: component %d: %d dissim lists for %d vertices", i, len(d.Lists), len(adj))
+		}
+		orig := r.I32s()
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("core: component %d mapping: %w", i, err)
+		}
+		if len(orig) != len(adj) {
+			return nil, fmt.Errorf("core: component %d: mapping for %d of %d vertices", i, len(orig), len(adj))
+		}
+		for j, v := range orig {
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("core: component %d: global vertex %d out of range [0,%d)", i, v, n)
+			}
+			if j > 0 && v <= orig[j-1] {
+				return nil, fmt.Errorf("core: component %d: mapping not strictly ascending", i)
+			}
+		}
+		p := &problem{
+			k:      k,
+			n:      len(adj),
+			adj:    adj,
+			dissim: d.Lists,
+			pairs:  d.Pairs,
+			orig:   orig,
+		}
+		for _, nb := range adj {
+			if len(nb) > p.maxDeg {
+				p.maxDeg = len(nb)
+			}
+		}
+		pr.probs = append(pr.probs, p)
+	}
+	// Re-derive the maximum-search component order exactly as
+	// PrepareFiltered does, so a decoded Prepared searches components
+	// in the same sequence as the one that was saved.
+	pr.byDeg = append([]*problem(nil), pr.probs...)
+	sort.SliceStable(pr.byDeg, func(i, j int) bool { return pr.byDeg[i].maxDeg > pr.byDeg[j].maxDeg })
+	return pr, nil
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"krcore/internal/attr"
+	"krcore/internal/binenc"
+	"krcore/internal/graph"
+	"krcore/internal/similarity"
+)
+
+// preparedFixture builds a Prepared over a small clustered geo
+// instance with at least one real candidate component.
+func preparedFixture(t *testing.T) (*Prepared, Params, *graph.Graph) {
+	t.Helper()
+	const n = 70
+	rng := rand.New(rand.NewSource(9))
+	b := graph.NewBuilder(n)
+	for i := 0; i < 5*n; i++ {
+		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	g := b.Build()
+	geo := attr.NewGeo(n)
+	for u := 0; u < n; u++ {
+		geo.SetVertex(int32(u), attr.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20})
+	}
+	o := similarity.NewOracle(similarity.Euclidean{Store: geo}, 9)
+	p := Params{K: 2, Oracle: o}
+	pr, err := Prepare(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Components() == 0 {
+		t.Fatal("fixture has no candidate components")
+	}
+	return pr, p, g
+}
+
+func TestPreparedBinaryRoundTrip(t *testing.T) {
+	pr, p, g := preparedFixture(t)
+	var b binenc.Buffer
+	AppendPrepared(&b, pr)
+	got, err := DecodePrepared(binenc.NewReader(b.Bytes()), p.Oracle, g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K() != pr.K() || got.Components() != pr.Components() {
+		t.Fatalf("decoded k=%d comps=%d, want k=%d comps=%d",
+			got.K(), got.Components(), pr.K(), pr.Components())
+	}
+	// The decoded problem must search bit-identically.
+	want, err := pr.Enumerate(EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := got.Enumerate(EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(have.Cores) != fmt.Sprint(want.Cores) || have.Nodes != want.Nodes {
+		t.Fatal("decoded Prepared enumerates differently")
+	}
+	wantMax, err := pr.FindMaximum(MaxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	haveMax, err := got.FindMaximum(MaxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(haveMax.Cores) != fmt.Sprint(wantMax.Cores) || haveMax.Nodes != wantMax.Nodes {
+		t.Fatal("decoded Prepared finds a different maximum")
+	}
+	// Canonical re-encode.
+	var b2 binenc.Buffer
+	AppendPrepared(&b2, got)
+	if string(b.Bytes()) != string(b2.Bytes()) {
+		t.Fatal("re-encode not byte-stable")
+	}
+}
+
+func TestDecodePreparedRejectsCorruption(t *testing.T) {
+	pr, p, g := preparedFixture(t)
+	var b binenc.Buffer
+	AppendPrepared(&b, pr)
+	raw := b.Bytes()
+
+	// Vertex-count anchor mismatch.
+	if _, err := DecodePrepared(binenc.NewReader(raw), p.Oracle, g.N()+1); err == nil {
+		t.Fatal("anchor mismatch accepted")
+	}
+	// Truncation at several depths.
+	for _, cut := range []int{4, 20, len(raw) / 2, len(raw) - 1} {
+		if _, err := DecodePrepared(binenc.NewReader(raw[:cut]), p.Oracle, g.N()); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// k = 0 violates Params validation.
+	mut := append([]byte(nil), raw...)
+	mut[0], mut[1], mut[2], mut[3] = 0, 0, 0, 0
+	if _, err := DecodePrepared(binenc.NewReader(mut), p.Oracle, g.N()); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}

@@ -49,6 +49,8 @@ var Experiments = []Experiment{
 	{"updates", "incremental update latency vs full rebuild (all presets)", DynamicUpdates},
 	// Beyond the paper: HTTP serving throughput (PR 4).
 	{"serve", "HTTP daemon throughput under admission control (geo presets)", Serve},
+	// Beyond the paper: snapshot persistence (PR 5).
+	{"snapshot", "engine snapshot load vs rebuild (all presets)", Snapshot},
 }
 
 // Find returns the experiment with the given id, or nil.

@@ -1,0 +1,108 @@
+package expr
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"krcore"
+	"krcore/internal/dataset"
+)
+
+// Snapshot measures versioned snapshot persistence (PR 5): the cost of
+// warm starting a serving engine from a saved snapshot versus
+// rebuilding it from the raw graph — the restart/deploy/replica
+// spin-up cost the persistence layer exists to eliminate.
+//
+// For every preset the experiment warms an engine at the default
+// (k, r) setting, saves its snapshot to memory, and measures:
+//
+//   - rebuild: NewEngine + Warm from the raw graph (similarity index,
+//     edge filter, k-core candidate components), what every restart
+//     paid before persistence;
+//   - load: krcore.LoadEngine on the snapshot bytes, which
+//     reconstructs all of it by decoding instead of recomputing.
+//
+// A loaded engine is verified to answer the warmed setting as a pure
+// cache hit with the same maximum core as the original.
+func Snapshot(r *Runner) *Report {
+	rep := &Report{
+		ID:     "snapshot",
+		Title:  "Snapshot persistence: engine load vs rebuild (default r, k=5)",
+		XLabel: "dataset",
+		Xs:     dataset.PresetNames(),
+	}
+	const repeats = 3
+	var rebuilds, loads, speedups, sizes []string
+	for _, name := range rep.Xs {
+		d := r.Dataset(name)
+		thr := presetThreshold(r, name)
+
+		// Rebuild baseline: mean of cold NewEngine+Warm builds.
+		var rebuildT time.Duration
+		var eng *krcore.Engine
+		for i := 0; i < repeats; i++ {
+			t0 := time.Now()
+			eng = krcore.NewEngine(d.Graph, d.Metric())
+			if err := eng.Warm(servingK, thr); err != nil {
+				panic(err)
+			}
+			rebuildT += time.Since(t0)
+		}
+		rebuildT /= repeats
+		rebuilds = append(rebuilds, fmtDuration(rebuildT, false))
+
+		var snap bytes.Buffer
+		if err := eng.SaveSnapshot(&snap); err != nil {
+			panic(err)
+		}
+		sizes = append(sizes, fmt.Sprintf("%.1fKB", float64(snap.Len())/1024))
+
+		// Warm start: mean of snapshot loads over the same bytes.
+		var loadT time.Duration
+		var loaded *krcore.Engine
+		for i := 0; i < repeats; i++ {
+			t0 := time.Now()
+			var err error
+			loaded, err = krcore.LoadEngine(bytes.NewReader(snap.Bytes()))
+			if err != nil {
+				panic(err)
+			}
+			loadT += time.Since(t0)
+		}
+		loadT /= repeats
+		loads = append(loads, fmtDuration(loadT, false))
+
+		if loadT > 0 {
+			speedups = append(speedups, fmt.Sprintf("%.1fx", float64(rebuildT)/float64(loadT)))
+		} else {
+			speedups = append(speedups, "-")
+		}
+
+		// The loaded engine must serve the warmed setting as a pure
+		// cache hit, bit-identically to the rebuilt engine.
+		want, err := eng.FindMaximum(servingK, thr, krcore.MaxOptions{Limits: r.limits()})
+		if err != nil {
+			panic(err)
+		}
+		got, err := loaded.FindMaximum(servingK, thr, krcore.MaxOptions{Limits: r.limits()})
+		if err != nil {
+			panic(err)
+		}
+		if fmt.Sprint(got.Cores) != fmt.Sprint(want.Cores) {
+			panic(fmt.Sprintf("%s: loaded engine diverges from rebuilt engine", name))
+		}
+		if st := loaded.Stats(); st.Hits != 1 || st.Misses != 0 {
+			panic(fmt.Sprintf("%s: loaded engine re-prepared the warmed setting: %+v", name, st))
+		}
+	}
+	rep.AddSeries("rebuild (NewEngine+Warm)", rebuilds)
+	rep.AddSeries("snapshot load", loads)
+	rep.AddSeries("rebuild / load", speedups)
+	rep.AddSeries("snapshot size", sizes)
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("rebuild = mean of %d cold builds (similarity index + edge filter + k-core components)", repeats),
+		fmt.Sprintf("load = mean of %d krcore.LoadEngine calls on in-memory snapshot bytes", repeats),
+		"loads are verified: the warmed (k,r) setting answers as a pure cache hit, bit-identical to the rebuilt engine")
+	return rep
+}

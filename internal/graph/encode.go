@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"krcore/internal/binenc"
+)
+
+// AppendAdjacency serialises adjacency lists in CSR order: the vertex
+// count, one degree per vertex, then every neighbour list flattened.
+// The encoding is canonical — equal lists always produce equal bytes —
+// which is what snapshot golden files rely on.
+func AppendAdjacency(b *binenc.Buffer, adj [][]int32) {
+	b.U64(uint64(len(adj)))
+	for _, nb := range adj {
+		b.U32(uint32(len(nb)))
+	}
+	for _, nb := range adj {
+		for _, v := range nb {
+			b.U32(uint32(v))
+		}
+	}
+}
+
+// DecodeAdjacency reads lists written by AppendAdjacency into one
+// shared backing slice and validates the graph invariants every
+// algorithm in this module assumes: each list strictly ascending,
+// loop-free and within [0, n). It returns the lists plus the total
+// entry count (2m for symmetric adjacency).
+func DecodeAdjacency(r *binenc.Reader) ([][]int32, int, error) {
+	n := r.Count(4)
+	rawDeg := r.Raw(4 * n)
+	if err := r.Err(); err != nil {
+		return nil, 0, err
+	}
+	deg := make([]uint32, n)
+	total := 0
+	for i := range deg {
+		deg[i] = binary.LittleEndian.Uint32(rawDeg[4*i:])
+		if int(deg[i]) >= n {
+			// A vertex has at most n-1 distinct neighbours; rejecting
+			// larger degrees here also keeps the running total far
+			// below overflow whatever the section claims.
+			return nil, 0, fmt.Errorf("vertex %d: degree %d with %d vertices", i, deg[i], n)
+		}
+		total += int(deg[i])
+		if total > r.Remaining()/4 {
+			return nil, 0, fmt.Errorf("adjacency claims %d+ entries, only %d bytes left", total, r.Remaining())
+		}
+	}
+	raw := r.Raw(4 * total)
+	if err := r.Err(); err != nil {
+		return nil, 0, err
+	}
+	backing := make([]int32, total)
+	adj := make([][]int32, n)
+	off := 0
+	for u := range adj {
+		d := int(deg[u])
+		list := backing[off : off+d : off+d]
+		// Convert and validate in one pass: prev starts below zero, so
+		// v <= prev also catches negative ids and duplicates.
+		prev := int32(-1)
+		for i := 0; i < d; i++ {
+			v := int32(binary.LittleEndian.Uint32(raw[4*(off+i):]))
+			if v <= prev || int(v) >= n {
+				return nil, 0, fmt.Errorf("vertex %d: neighbour %d breaks the sorted-range invariant [0,%d)", u, v, n)
+			}
+			if int(v) == u {
+				return nil, 0, fmt.Errorf("vertex %d: self-loop", u)
+			}
+			list[i] = v
+			prev = v
+		}
+		adj[u] = list
+		off += d
+	}
+	return adj, total, nil
+}
+
+// AppendBinary serialises the graph (see AppendAdjacency).
+func AppendBinary(b *binenc.Buffer, g *Graph) { AppendAdjacency(b, g.adj) }
+
+// DecodeBinary reconstructs a graph written by AppendBinary,
+// validating the per-list invariants. Adjacency symmetry is not
+// re-checked — snapshots carry per-section checksums against
+// accidental corruption.
+func DecodeBinary(r *binenc.Reader) (*Graph, error) {
+	adj, total, err := DecodeAdjacency(r)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	return &Graph{adj: adj, m: total / 2}, nil
+}

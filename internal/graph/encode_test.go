@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"krcore/internal/binenc"
+)
+
+func TestGraphBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := NewBuilder(50)
+	for i := 0; i < 200; i++ {
+		b.AddEdge(int32(rng.Intn(50)), int32(rng.Intn(50)))
+	}
+	g := b.Build()
+	var buf binenc.Buffer
+	AppendBinary(&buf, g)
+	got, err := DecodeBinary(binenc.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != g.N() || got.M() != g.M() {
+		t.Fatalf("decoded %d/%d, want %d/%d", got.N(), got.M(), g.N(), g.M())
+	}
+	for u := 0; u < g.N(); u++ {
+		if fmt.Sprint(got.Neighbors(int32(u))) != fmt.Sprint(g.Neighbors(int32(u))) {
+			t.Fatalf("vertex %d adjacency differs", u)
+		}
+	}
+	// Canonical bytes: re-encoding the decoded graph is identical.
+	var buf2 binenc.Buffer
+	AppendBinary(&buf2, got)
+	if string(buf.Bytes()) != string(buf2.Bytes()) {
+		t.Fatal("re-encode not byte-stable")
+	}
+}
+
+func TestDecodeAdjacencyRejectsInvariantViolations(t *testing.T) {
+	enc := func(adj [][]int32) *binenc.Reader {
+		var b binenc.Buffer
+		AppendAdjacency(&b, adj)
+		return binenc.NewReader(b.Bytes())
+	}
+	cases := map[string][][]int32{
+		"out-of-range": {{3}, {}},
+		"negative":     {{-1}, {}},
+		"self-loop":    {{0}, {}},
+		"unsorted":     {{}, {}, {1, 0}},
+		"duplicate":    {{1, 1}, {0}},
+	}
+	for name, adj := range cases {
+		if _, _, err := DecodeAdjacency(enc(adj)); err == nil {
+			t.Fatalf("%s adjacency accepted", name)
+		}
+	}
+	// Truncated payload.
+	var b binenc.Buffer
+	AppendAdjacency(&b, [][]int32{{1}, {0}})
+	if _, _, err := DecodeAdjacency(binenc.NewReader(b.Bytes()[:len(b.Bytes())-2])); err == nil {
+		t.Fatal("truncated adjacency accepted")
+	}
+	// Degree sum beyond the remaining bytes.
+	var c binenc.Buffer
+	c.U64(1)
+	c.U32(1 << 30)
+	if _, _, err := DecodeAdjacency(binenc.NewReader(c.Bytes())); err == nil {
+		t.Fatal("oversized degree sum accepted")
+	}
+}

@@ -1,0 +1,26 @@
+package simgraph
+
+import (
+	"fmt"
+
+	"krcore/internal/binenc"
+	"krcore/internal/graph"
+)
+
+// AppendDissim serialises the dissimilarity lists. Dissim shares the
+// adjacency-list shape and invariants of package graph (sorted,
+// loop-free, symmetric), so the encoding reuses the graph CSR hook;
+// Pairs is derived on decode rather than stored.
+func AppendDissim(b *binenc.Buffer, d *Dissim) {
+	graph.AppendAdjacency(b, d.Lists)
+}
+
+// DecodeDissim reconstructs dissimilarity lists written by
+// AppendDissim.
+func DecodeDissim(r *binenc.Reader) (*Dissim, error) {
+	lists, total, err := graph.DecodeAdjacency(r)
+	if err != nil {
+		return nil, fmt.Errorf("dissim: %w", err)
+	}
+	return &Dissim{Lists: lists, Pairs: total / 2}, nil
+}

@@ -1,0 +1,27 @@
+package simgraph
+
+import (
+	"fmt"
+	"testing"
+
+	"krcore/internal/binenc"
+)
+
+func TestDissimBinaryRoundTrip(t *testing.T) {
+	d := &Dissim{
+		Lists: [][]int32{{1, 2}, {0}, {0}, nil},
+		Pairs: 2,
+	}
+	var b binenc.Buffer
+	AppendDissim(&b, d)
+	got, err := DecodeDissim(binenc.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pairs != d.Pairs || fmt.Sprint(got.Lists) != fmt.Sprint(d.Lists) {
+		t.Fatalf("decoded %+v, want %+v", got, d)
+	}
+	if _, err := DecodeDissim(binenc.NewReader(b.Bytes()[:5])); err == nil {
+		t.Fatal("truncated dissim accepted")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build windows
+
+package snapshot
+
+// syncDir is a no-op on Windows, which offers no directory-handle
+// sync; rename metadata durability is left to the OS.
+func syncDir(string) error { return nil }

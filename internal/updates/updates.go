@@ -340,6 +340,18 @@ func (s *Stream) ReplayStream(eng *krcore.DynamicEngine, batch int) (int, error)
 	return replay(eng, s.Ups, s.Lines, batch)
 }
 
+// ReplayStreamFrom replays the stream's operations from the given
+// offset — the crash-recovery path: an engine restored from a
+// snapshot resumes its journal at krcore.DynamicEngine.JournalOffset,
+// skipping the operations the snapshot already contains. Rejections
+// keep their original source line numbers.
+func (s *Stream) ReplayStreamFrom(eng *krcore.DynamicEngine, offset int64, batch int) (int, error) {
+	if offset < 0 || offset > int64(len(s.Ups)) {
+		return 0, fmt.Errorf("updates: journal offset %d outside stream of %d operations", offset, len(s.Ups))
+	}
+	return replay(eng, s.Ups[offset:], s.Lines[offset:], batch)
+}
+
 // replay drives batched ApplyBatch commits, attributing failures to a
 // source line when positions are known.
 func replay(eng *krcore.DynamicEngine, ups []krcore.Update, lines []int, batch int) (int, error) {

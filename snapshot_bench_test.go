@@ -1,0 +1,82 @@
+package krcore_test
+
+import (
+	"bytes"
+	"testing"
+
+	"krcore"
+	"krcore/internal/dataset"
+)
+
+// benchSnapshot builds a warmed engine over a preset and returns its
+// snapshot bytes.
+func benchSnapshot(b *testing.B, preset string) (*dataset.Dataset, float64, []byte) {
+	b.Helper()
+	d, err := dataset.Load(preset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	thr, err := d.DefaultThreshold()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := krcore.NewEngine(d.Graph, d.Metric())
+	if err := eng.Warm(5, thr); err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.SaveSnapshot(&buf); err != nil {
+		b.Fatal(err)
+	}
+	return d, thr, buf.Bytes()
+}
+
+func BenchmarkSnapshotLoad(b *testing.B) {
+	for _, preset := range []string{"gowalla", "dblp"} {
+		b.Run(preset, func(b *testing.B) {
+			_, _, raw := benchSnapshot(b, preset)
+			b.SetBytes(int64(len(raw)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := krcore.LoadEngine(bytes.NewReader(raw)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSnapshotRebuild(b *testing.B) {
+	for _, preset := range []string{"gowalla", "dblp"} {
+		b.Run(preset, func(b *testing.B) {
+			d, thr, _ := benchSnapshot(b, preset)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng := krcore.NewEngine(d.Graph, d.Metric())
+				if err := eng.Warm(5, thr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSnapshotSave(b *testing.B) {
+	for _, preset := range []string{"gowalla", "dblp"} {
+		b.Run(preset, func(b *testing.B) {
+			d, thr, raw := benchSnapshot(b, preset)
+			eng := krcore.NewEngine(d.Graph, d.Metric())
+			if err := eng.Warm(5, thr); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(raw)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var buf bytes.Buffer
+				if err := eng.SaveSnapshot(&buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
