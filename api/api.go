@@ -171,15 +171,26 @@ type EngineStats struct {
 }
 
 // DynamicStats mirrors krcore.DynamicStats on the wire (PathStats,
-// dynamic daemons only).
+// dynamic daemons only). Batches/GroupCommits is the write-path
+// coalescing factor: how many ApplyBatch calls shared one commit round
+// on average. PatchesIncremental vs PatchesFull says how often core
+// maintenance stayed on the bounded repair path instead of re-peeling.
 type DynamicStats struct {
-	Updates           int64 `json:"updates"`
-	Batches           int64 `json:"batches"`
-	Version           int64 `json:"version"`
-	IndexesKept       int64 `json:"indexes_kept"`
-	IndexesRebuilt    int64 `json:"indexes_rebuilt"`
-	ComponentsReused  int64 `json:"components_reused"`
-	ComponentsRebuilt int64 `json:"components_rebuilt"`
+	Updates            int64 `json:"updates"`
+	Batches            int64 `json:"batches"`
+	GroupCommits       int64 `json:"group_commits"`
+	Version            int64 `json:"version"`
+	IndexesKept        int64 `json:"indexes_kept"`
+	IndexesRebuilt     int64 `json:"indexes_rebuilt"`
+	ComponentsReused   int64 `json:"components_reused"`
+	ComponentsRebuilt  int64 `json:"components_rebuilt"`
+	PatchesIncremental int64 `json:"patches_incremental"`
+	PatchesFull        int64 `json:"patches_full"`
+	CoreVisited        int64 `json:"core_visited"`
+	// JournalOps is the number of operations in the daemon's update
+	// journal tail — the replay cost of a crash recovery, reset by
+	// journal compaction. Zero when the daemon runs without -journal.
+	JournalOps int64 `json:"journal_ops"`
 }
 
 // ServerStats reports the daemon's expvar-style serving counters.

@@ -13,6 +13,7 @@
 //	krcored -load mygraph.txt -dynamic -warm 4:12,5:12
 //	krcored -data brightkite -warm 5 -snapshot-save checkpoint.snap
 //	krcored -snapshot checkpoint.snap -addr 127.0.0.1:8420
+//	krcored -load mygraph.txt -dynamic -journal updates.journal -snapshot-save checkpoint.snap
 //
 //	curl -s localhost:8420/v1/enumerate -d '{"k":5,"r":10}'
 //	curl -s localhost:8420/v1/stats
@@ -37,6 +38,19 @@
 // resumes it from that offset after a crash (kill -9) restart. A
 // failed checkpoint write on SIGUSR1 is logged and serving continues;
 // on the shutdown path it makes the daemon exit non-zero.
+//
+// # Journal
+//
+// -journal (dynamic only) names a write-ahead update log: every
+// committed batch group is appended — one write and one fsync per
+// commit round, shared by all coalesced writers — before engine state
+// changes. On start the daemon replays the journal tail past the
+// engine's committed offset, so a crash loses nothing that was acked.
+// When -snapshot-save is also set, each checkpoint compacts the
+// journal to the operations the snapshot does not yet contain, keeping
+// crash-recovery replay cost proportional to the traffic since the
+// last checkpoint. The stats endpoint reports the tail length as
+// dynamic_engine.journal_ops.
 package main
 
 import (
@@ -91,6 +105,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		load        = fs.String("load", "", "load a dataset file written by datagen")
 		snapLoad    = fs.String("snapshot", "", "start from an engine snapshot file (instead of -data/-load)")
 		snapSave    = fs.String("snapshot-save", "", "checkpoint file written on SIGUSR1 and after the shutdown drain")
+		journalPath = fs.String("journal", "", "append-only update journal (dynamic only): commits are logged write-ahead, the tail past the engine's offset is replayed on start, and checkpoints compact it")
 		addr        = fs.String("addr", "127.0.0.1:8420", "listen address (host:port; port 0 picks a free port)")
 		dynamic     = fs.Bool("dynamic", false, "serve the mutable engine and accept /v1/update batches")
 		concurrency = fs.Int("concurrency", 4, "searches running at once (admission-control limit)")
@@ -132,7 +147,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	srv, err := server.New(backend, server.Config{
+	journal, err := openJournal(stdout, backend, *journalPath, *dynamic)
+	if err != nil {
+		return err
+	}
+	if journal != nil {
+		defer journal.Close()
+	}
+
+	cfg := server.Config{
 		Dataset:        name,
 		MaxConcurrent:  *concurrency,
 		MaxQueue:       *queue,
@@ -141,7 +164,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		MaxTimeout:     *maxTimeout,
 		MaxNodes:       *maxNodes,
 		MaxParallelism: *parallelCap,
-	})
+	}
+	if journal != nil {
+		cfg.JournalLen = journal.TailOps
+	}
+	srv, err := server.New(backend, cfg)
 	if err != nil {
 		return err
 	}
@@ -195,7 +222,7 @@ serve:
 				fmt.Fprintln(stdout, "SIGUSR1 ignored: no -snapshot-save path configured")
 				continue
 			}
-			if err := writeCheckpoint(stdout, backend, *snapSave); err != nil {
+			if err := writeCheckpoint(stdout, backend, journal, *snapSave); err != nil {
 				log.Printf("checkpoint: %v", err)
 			}
 		case <-ctx.Done():
@@ -218,7 +245,7 @@ serve:
 		// every committed update; a write failure here must surface as
 		// a non-zero exit, or a supervisor would restart from a stale
 		// checkpoint without anyone noticing.
-		if err := writeCheckpoint(stdout, backend, *snapSave); err != nil {
+		if err := writeCheckpoint(stdout, backend, journal, *snapSave); err != nil {
 			return fmt.Errorf("shutdown checkpoint: %w", err)
 		}
 	}
@@ -292,19 +319,84 @@ func openBackend(stdout io.Writer, snapLoad, data, load string, dynamic bool) (s
 
 // writeCheckpoint persists the backend's snapshot atomically (temp
 // file + sync + rename, see snapshot.WriteFileAtomic), so readers and
-// crash restarts only ever see complete checkpoints.
-func writeCheckpoint(stdout io.Writer, backend server.Backend, path string) error {
+// crash restarts only ever see complete checkpoints. With a journal
+// attached, the checkpoint also compacts it: operations the snapshot
+// now contains are dropped, so crash-recovery replay cost stays
+// proportional to the traffic since the last checkpoint.
+func writeCheckpoint(stdout io.Writer, backend server.Backend, journal *updates.Journal, path string) error {
 	s, ok := backend.(snapshotter)
 	if !ok {
 		return fmt.Errorf("backend %T cannot snapshot", backend)
 	}
 	t0 := time.Now()
+	if journal != nil {
+		deng, ok := backend.(*krcore.DynamicEngine)
+		if !ok {
+			return fmt.Errorf("backend %T has a journal but is not a dynamic engine", backend)
+		}
+		dropped, err := updates.Compact(deng, journal, path)
+		if err != nil {
+			return err
+		}
+		return emit(stdout, "checkpoint saved to %s, journal compacted (%d ops dropped, %d in tail, %v)\n",
+			path, dropped, journal.TailOps(), time.Since(t0).Round(time.Millisecond))
+	}
 	size, err := snapshot.WriteFileAtomic(path, s.SaveSnapshot)
 	if err != nil {
 		return err
 	}
 	return emit(stdout, "checkpoint saved to %s (%d bytes, %v)\n",
 		path, size, time.Since(t0).Round(time.Millisecond))
+}
+
+// openJournal wires the daemon's write-ahead update journal: it opens
+// (or creates) the file, replays the tail past the engine's committed
+// offset — the crash-recovery path after a -snapshot restart — and
+// registers the journal so every subsequent commit round appends to it
+// before touching engine state.
+func openJournal(stdout io.Writer, backend server.Backend, path string, dynamic bool) (*updates.Journal, error) {
+	if path == "" {
+		return nil, nil
+	}
+	if !dynamic {
+		return nil, fmt.Errorf("-journal requires -dynamic")
+	}
+	deng, ok := backend.(*krcore.DynamicEngine)
+	if !ok {
+		return nil, fmt.Errorf("-journal: backend %T is not a dynamic engine", backend)
+	}
+	kind, err := updates.ParseKind(deng.AttributeKind())
+	if err != nil {
+		return nil, fmt.Errorf("-journal: %w", err)
+	}
+	j, err := updates.OpenJournal(path, kind)
+	if err != nil {
+		return nil, fmt.Errorf("-journal: %w", err)
+	}
+	tail, base, err := j.Tail()
+	if err != nil {
+		j.Close()
+		return nil, fmt.Errorf("-journal: %w", err)
+	}
+	off := deng.JournalOffset()
+	if off < base {
+		j.Close()
+		return nil, fmt.Errorf("-journal: engine is at offset %d but the journal was compacted past it (base %d); start from the journal's companion snapshot", off, base)
+	}
+	if end := base + int64(len(tail.Ups)); off < end {
+		t0 := time.Now()
+		if _, err := tail.ReplayStreamFrom(deng, off-base, 256); err != nil {
+			j.Close()
+			return nil, fmt.Errorf("-journal: replay: %w", err)
+		}
+		if err := emit(stdout, "replayed %d journal ops in %v (offset %d -> %d)\n",
+			end-off, time.Since(t0).Round(time.Millisecond), off, end); err != nil {
+			j.Close()
+			return nil, err
+		}
+	}
+	deng.SetJournal(j)
+	return j, nil
 }
 
 // warmSpec is one pre-built (k,r) setting.

@@ -364,10 +364,13 @@ type advanceDelta struct {
 	touched   []bool
 }
 
-// advanceStats reports what one advance carried over versus rebuilt.
+// advanceStats reports what one advance carried over versus rebuilt,
+// and which core-maintenance path each cached (k,r) setting took.
 type advanceStats struct {
 	indexesKept, indexesRebuilt         int
 	componentsReused, componentsRebuilt int
+	patchesIncremental, patchesFull     int
+	coreVisited                         int
 }
 
 // advance returns a new engine serving the mutated graph, carrying over
@@ -380,10 +383,13 @@ type advanceStats struct {
 //   - per-r filtered graphs are patched incrementally — only the new
 //     and attribute-changed pairs consult the similarity engine (see
 //     simgraph.PatchFiltered), never all m edges;
-//   - per-(k,r) prepared candidate components are re-derived from the
-//     patched filtered graph (k-core + components, O(n+m)), and every
-//     component untouched by the delta keeps its existing problem,
-//     including its dissimilarity lists (see core.PatchPrepared).
+//   - per-(k,r) prepared candidate components are maintained
+//     incrementally: the per-vertex core numbers are repaired around the
+//     changed edges and only the affected components are rediscovered
+//     and rebuilt (see core.PatchPreparedDelta); batches touching a
+//     region larger than the patch budget fall back to the O(n+m) full
+//     recompute, and either way every component untouched by the delta
+//     keeps its existing problem, including its dissimilarity lists.
 //
 // Cache hit/miss counters carry over so Stats stays coherent across
 // mutations. The receiver is left unchanged; the caller must serialise
@@ -405,6 +411,8 @@ func (e *Engine) advance(d advanceDelta) (*Engine, advanceStats) {
 	}
 	e.mu.Unlock()
 	attrsChanged := len(d.attrVerts) > 0 || d.grown
+	type filteredDiff struct{ add, del [][2]int32 }
+	diffs := make(map[float64]filteredDiff, len(rs))
 	for r, old := range rs {
 		if !old.ready.Load() {
 			// Never finished building (this includes oracle-only
@@ -420,8 +428,9 @@ func (e *Engine) advance(d advanceDelta) (*Engine, advanceStats) {
 		} else {
 			st.indexesKept++
 		}
-		filtered := simgraph.PatchFiltered(old.filtered, oracle.Bulk(), d.g2,
+		filtered, addF, delF := simgraph.PatchFiltered(old.filtered, oracle.Bulk(), d.g2,
 			d.addPairs, d.delPairs, d.attrVerts)
+		diffs[r] = filteredDiff{add: addF, del: delF}
 		ne.byR[r] = readyREntry(oracle, filtered)
 	}
 	for key, old := range krs {
@@ -432,13 +441,25 @@ func (e *Engine) advance(d advanceDelta) (*Engine, advanceStats) {
 		if re == nil {
 			continue
 		}
-		pr, pst, err := core.PatchPrepared(old.pr, re.filtered,
-			core.Params{K: key.k, Oracle: re.oracle}, d.touched)
+		fd := diffs[key.r]
+		pr, pst, err := core.PatchPreparedDelta(old.pr, re.filtered,
+			core.Params{K: key.k, Oracle: re.oracle}, core.PatchDelta{
+				AddFiltered: fd.add,
+				DelFiltered: fd.del,
+				AttrVerts:   d.attrVerts,
+				Touched:     d.touched,
+			})
 		if err != nil {
 			continue // impossible for a cached entry; rebuild lazily
 		}
 		st.componentsReused += pst.Reused
 		st.componentsRebuilt += pst.Rebuilt
+		if pst.Incremental {
+			st.patchesIncremental++
+		} else {
+			st.patchesFull++
+		}
+		st.coreVisited += pst.CoreVisited
 		ne.byKR[key] = readyKREntry(pr)
 	}
 	return ne, st

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"krcore/internal/graph"
+	"krcore/internal/similarity"
 )
 
 // UpdateOp identifies one mutation kind in an Update.
@@ -108,6 +109,30 @@ type DynamicStats struct {
 	// ComponentsReused / ComponentsRebuilt count prepared (k,r)
 	// candidate components carried across updates versus rebuilt.
 	ComponentsReused, ComponentsRebuilt int64
+	// GroupCommits counts commit rounds. Concurrent ApplyBatch calls
+	// coalesce into one round — one lock acquisition, one journal
+	// append, one snapshot advance — so Batches/GroupCommits is the
+	// write path's achieved coalescing factor (1.0 when writers never
+	// overlap).
+	GroupCommits int64
+	// PatchesIncremental / PatchesFull count cached (k,r) settings
+	// maintained by incremental core repair versus by the O(n+m) full
+	// recompute fallback.
+	PatchesIncremental, PatchesFull int64
+	// CoreVisited totals the vertices whose neighbourhoods incremental
+	// maintenance scanned (core repair plus affected-region discovery),
+	// the direct measure of how local the update stream's effects are.
+	CoreVisited int64
+}
+
+// JournalAppender receives every committed update before its snapshot
+// is published, the hook a durable write-ahead journal implements (see
+// updates.Journal). A commit group's operations arrive as one call —
+// group commit amortises journal I/O the same way it amortises
+// snapshot advances. An append error fails the whole group: no state
+// changes, every waiting ApplyBatch call gets the error.
+type JournalAppender interface {
+	AppendBatch(batch []Update) error
 }
 
 // DynamicEngine is the mutable serving layer: an Engine that accepts
@@ -126,16 +151,48 @@ type DynamicStats struct {
 // graph — the differential test harness enforces exactly that.
 //
 // Concurrency: query methods take a shared lock and run fully in
-// parallel with each other; mutations take the exclusive lock, so a
-// batch waits for in-flight queries and blocks queries only while the
-// snapshot is advanced (preparation work, never search work). All
-// methods are safe for concurrent use.
+// parallel with each other. Mutations go through a group-commit write
+// path: concurrent ApplyBatch calls enqueue their batches and the
+// first caller through becomes the round's leader, validating and
+// merging every queued batch into one delta, one journal append and
+// one snapshot advance. Structure-only rounds build the new snapshot
+// entirely outside the engine lock — queries keep running against the
+// current snapshot for the whole rebuild and are blocked only for the
+// pointer swap; attribute rounds hold the lock across the advance,
+// because the attribute store they mutate is read by concurrent
+// cache-miss preparation. All methods are safe for concurrent use.
 type DynamicEngine struct {
 	mu    sync.RWMutex
 	attrs DynamicAttributes
 	g     *graph.Graph
 	eng   *Engine
 	stats DynamicStats
+
+	// commitMu serialises commit rounds; the holder is the round's
+	// leader. journal is guarded by it.
+	commitMu sync.Mutex
+	journal  JournalAppender
+
+	// pendMu guards the queue of batches awaiting a leader.
+	pendMu  sync.Mutex
+	pending []*commitReq
+
+	// preAdvance, when non-nil, runs at the start of a structure-only
+	// round's out-of-lock rebuild. Tests use it to hold a commit
+	// mid-rebuild and prove queries still run.
+	preAdvance func()
+}
+
+// commitReq is one ApplyBatch call waiting in the commit queue.
+type commitReq struct {
+	batch []Update
+	// done receives the batch's outcome exactly once; buffered so the
+	// leader never blocks on a waiter.
+	done chan error
+	// newN is the graph's vertex count right after this batch's updates,
+	// recorded during validation so AddVertex can name its vertex even
+	// when later batches in the same round add more.
+	newN int
 }
 
 // NewDynamicEngine returns a mutable serving engine over the graph and
@@ -168,12 +225,11 @@ func (d *DynamicEngine) RemoveEdge(u, v int32) error {
 // AddVertex appends one isolated vertex with zero-valued attributes and
 // returns its id.
 func (d *DynamicEngine) AddVertex() (int32, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if err := d.applyLocked([]Update{AddVertexUpdate()}); err != nil {
+	newN, err := d.commit([]Update{AddVertexUpdate()})
+	if err != nil {
 		return 0, err
 	}
-	return int32(d.g.N() - 1), nil
+	return int32(newN - 1), nil
 }
 
 // SetAttributes replaces the attributes of vertex u.
@@ -206,23 +262,81 @@ func (e *BatchError) Unwrap() error { return e.Err }
 // ApplyBatch validates and commits a batch of updates atomically: on
 // the first invalid update nothing is applied (the returned error is a
 // *BatchError naming the offender), otherwise the whole batch becomes
-// one new snapshot (one scoped invalidation, however many operations).
-// An empty batch is a no-op.
+// part of one new snapshot. An empty batch is a no-op.
+//
+// Concurrent calls group-commit: batches queued while a commit is in
+// flight are validated, journalled and advanced together in the next
+// round, one snapshot for the whole group. Atomicity stays per batch —
+// a batch that fails validation is excluded from its round without
+// affecting the others — and the happens-before order of returns
+// matches commit order.
 func (d *DynamicEngine) ApplyBatch(batch []Update) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.applyLocked(batch)
+	_, err := d.commit(batch)
+	return err
 }
 
-// applyLocked is ApplyBatch under d.mu.
-func (d *DynamicEngine) applyLocked(batch []Update) error {
-	if len(batch) == 0 {
-		d.stats.Batches++
-		return nil
+// SetJournal attaches (or with nil detaches) a durable journal. Every
+// committed round appends its accepted updates — in commit order — to
+// the journal before publishing the new snapshot, so a crash after the
+// append can always be replayed past it. Attach before accepting
+// writes; swapping mid-stream leaves the journal with a gap.
+func (d *DynamicEngine) SetJournal(j JournalAppender) {
+	d.commitMu.Lock()
+	d.journal = j
+	d.commitMu.Unlock()
+}
+
+// AttributeKind names the engine's attribute family — "geo",
+// "keywords", "weighted-keywords", or "custom" for user-supplied
+// metrics. An update journal stores attribute payloads in the
+// kind-specific text format, so a journal opened for this engine must
+// use the same kind (see updates.OpenJournal).
+func (d *DynamicEngine) AttributeKind() string {
+	switch d.attrs.Metric().(type) {
+	case similarity.Euclidean:
+		return "geo"
+	case similarity.Jaccard:
+		return "keywords"
+	case similarity.WeightedJaccard:
+		return "weighted-keywords"
+	default:
+		return "custom"
 	}
-	delta := graph.NewDelta(d.g)
-	var attrUps []Update
-	attrSeen := map[int32]bool{}
+}
+
+// commit enqueues one batch and returns its outcome and the vertex
+// count right after it (for AddVertex). The first caller to take
+// commitMu leads the round and commits every queued batch at once;
+// the rest find their result already delivered.
+func (d *DynamicEngine) commit(batch []Update) (int, error) {
+	req := &commitReq{batch: batch, done: make(chan error, 1)}
+	d.pendMu.Lock()
+	d.pending = append(d.pending, req)
+	d.pendMu.Unlock()
+
+	d.commitMu.Lock()
+	// A previous leader may have committed this request already; its
+	// send on done happened before it released commitMu, so the result
+	// is guaranteed visible here.
+	select {
+	case err := <-req.done:
+		d.commitMu.Unlock()
+		return req.newN, err
+	default:
+	}
+	d.pendMu.Lock()
+	group := d.pending
+	d.pending = nil
+	d.pendMu.Unlock()
+	d.commitGroup(group) // delivers every request's outcome, ours included
+	d.commitMu.Unlock()
+	return req.newN, <-req.done
+}
+
+// applyToDelta validates one batch against the staged delta, recording
+// attribute updates aside. On error the delta is dirty: the round must
+// restart from a fresh one.
+func applyToDelta(delta *graph.Delta, batch []Update, attrUps *[]Update) error {
 	for i, up := range batch {
 		var err error
 		switch up.Op {
@@ -236,8 +350,7 @@ func (d *DynamicEngine) applyLocked(batch []Update) error {
 			if up.U < 0 || int(up.U) >= delta.N() {
 				err = fmt.Errorf("krcore: vertex %d out of range [0,%d)", up.U, delta.N())
 			} else {
-				attrUps = append(attrUps, up)
-				attrSeen[up.U] = true
+				*attrUps = append(*attrUps, up)
 			}
 		default:
 			err = fmt.Errorf("krcore: unknown update op %d", up.Op)
@@ -246,24 +359,91 @@ func (d *DynamicEngine) applyLocked(batch []Update) error {
 			return &BatchError{Index: i, Op: up.Op, Err: err}
 		}
 	}
-	d.stats.Batches++
-	d.stats.Updates += int64(len(batch))
-	if delta.Empty() && len(attrUps) == 0 {
-		return nil // effective no-op: keep the current snapshot
+	return nil
+}
+
+// commitGroup commits one round: validate and merge every queued batch
+// into a single delta, append the accepted updates to the journal, and
+// publish one new snapshot. Caller holds commitMu — the leader is the
+// only writer of d.g/d.eng/d.attrs until it returns, which is what
+// lets the structure-only path read them without d.mu.
+func (d *DynamicEngine) commitGroup(group []*commitReq) {
+	errs := make([]error, len(group))
+	var delta *graph.Delta
+	var attrUps []Update
+	// Merge with per-batch atomicity: a batch failing validation is
+	// excluded and the merge restarts, because later batches may
+	// reference vertices the excluded one would have added. Each restart
+	// excludes at least one batch, so the loop terminates.
+restart:
+	delta = graph.NewDelta(d.g)
+	attrUps = attrUps[:0]
+	for gi, req := range group {
+		if errs[gi] != nil {
+			continue
+		}
+		if err := applyToDelta(delta, req.batch, &attrUps); err != nil {
+			errs[gi] = err
+			goto restart
+		}
+		req.newN = delta.N()
 	}
+
+	// One journal append for the round, before any state changes: the
+	// accepted updates in commit order. Covers effective no-ops too —
+	// the journal offset equals the accepted-update count.
+	var ops []Update
+	accepted := 0
+	for gi, req := range group {
+		if errs[gi] == nil {
+			accepted++
+			ops = append(ops, req.batch...)
+		}
+	}
+	if d.journal != nil && len(ops) > 0 {
+		if err := d.journal.AppendBatch(ops); err != nil {
+			jerr := fmt.Errorf("krcore: journal append failed, batch not applied: %w", err)
+			for gi := range group {
+				if errs[gi] == nil {
+					errs[gi] = jerr
+				}
+			}
+			deliver(group, errs)
+			return
+		}
+	}
+
+	countGroup := func() {
+		if accepted > 0 {
+			d.stats.GroupCommits++
+		}
+		for gi, req := range group {
+			if errs[gi] == nil {
+				d.stats.Batches++
+				d.stats.Updates += int64(len(req.batch))
+			}
+		}
+	}
+
+	if delta.Empty() && len(attrUps) == 0 {
+		// Effective no-op round: keep the current snapshot.
+		d.mu.Lock()
+		countGroup()
+		d.mu.Unlock()
+		deliver(group, errs)
+		return
+	}
+
 	add, del := delta.Diff()
 	grown := delta.N() > d.g.N()
 	g2 := d.g.Apply(delta)
-	if grown {
-		d.attrs.Grow(g2.N())
-	}
-	attrVerts := make([]int32, 0, len(attrSeen))
+	attrVerts := make([]int32, 0, len(attrUps))
+	attrSeen := map[int32]bool{}
 	for _, up := range attrUps {
-		if attrSeen[up.U] {
-			attrSeen[up.U] = false
+		if !attrSeen[up.U] {
+			attrSeen[up.U] = true
 			attrVerts = append(attrVerts, up.U)
 		}
-		d.attrs.SetAttributes(up.U, up.Attrs)
 	}
 	touched := make([]bool, g2.N())
 	for _, v := range delta.Touched() {
@@ -272,21 +452,65 @@ func (d *DynamicEngine) applyLocked(batch []Update) error {
 	for _, u := range attrVerts {
 		touched[u] = true
 	}
-	ne, ast := d.eng.advance(advanceDelta{
+	adv := advanceDelta{
 		g2:        g2,
 		addPairs:  add,
 		delPairs:  del,
 		attrVerts: attrVerts,
 		grown:     grown,
 		touched:   touched,
-	})
-	d.g, d.eng = g2, ne
-	d.stats.Version++
-	d.stats.IndexesKept += int64(ast.indexesKept)
-	d.stats.IndexesRebuilt += int64(ast.indexesRebuilt)
-	d.stats.ComponentsReused += int64(ast.componentsReused)
-	d.stats.ComponentsRebuilt += int64(ast.componentsRebuilt)
-	return nil
+	}
+
+	publish := func(ne *Engine, ast advanceStats) {
+		d.g, d.eng = g2, ne
+		countGroup()
+		d.stats.Version++
+		d.stats.IndexesKept += int64(ast.indexesKept)
+		d.stats.IndexesRebuilt += int64(ast.indexesRebuilt)
+		d.stats.ComponentsReused += int64(ast.componentsReused)
+		d.stats.ComponentsRebuilt += int64(ast.componentsRebuilt)
+		d.stats.PatchesIncremental += int64(ast.patchesIncremental)
+		d.stats.PatchesFull += int64(ast.patchesFull)
+		d.stats.CoreVisited += int64(ast.coreVisited)
+	}
+
+	if len(attrUps) == 0 && !grown {
+		// Structure-only round: the attribute store is untouched, so the
+		// whole snapshot rebuild runs outside d.mu — queries keep
+		// serving the current snapshot — and the lock is held only for
+		// the pointer swap.
+		if d.preAdvance != nil {
+			d.preAdvance()
+		}
+		ne, ast := d.eng.advance(adv)
+		d.mu.Lock()
+		publish(ne, ast)
+		d.mu.Unlock()
+	} else {
+		// Attribute or growth round: the store mutations below are read
+		// by concurrent cache-miss preparation, so the rebuild stays
+		// under the write lock.
+		d.mu.Lock()
+		if grown {
+			d.attrs.Grow(g2.N())
+		}
+		for _, up := range attrUps {
+			d.attrs.SetAttributes(up.U, up.Attrs)
+		}
+		ne, ast := d.eng.advance(adv)
+		publish(ne, ast)
+		d.mu.Unlock()
+	}
+	deliver(group, errs)
+}
+
+// deliver sends each request its outcome. Channels are buffered, so
+// the leader never blocks; sends complete before commitMu is released,
+// which is what makes the fast path in commit race-free.
+func deliver(group []*commitReq, errs []error) {
+	for gi, req := range group {
+		req.done <- errs[gi]
+	}
 }
 
 // Graph returns the current immutable graph snapshot. It stays valid

@@ -1,12 +1,16 @@
 package krcore
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"krcore/internal/kcore"
 )
 
 // ---------------------------------------------------------------------
@@ -232,6 +236,39 @@ func randomBatch(cfg diffMetric, m *dynMirror, rng *rand.Rand) []Update {
 	}
 }
 
+// assertMaintainedCores asserts that every fully built (k,r) cache
+// entry's maintained per-vertex core numbers are bit-identical to a
+// fresh linear peeling of its filtered graph — the invariant the
+// incremental repair path (kcore.Repair via core.PatchPreparedDelta)
+// must preserve across every update.
+func assertMaintainedCores(t *testing.T, d *DynamicEngine, label string) {
+	t.Helper()
+	d.mu.RLock()
+	e := d.eng
+	d.mu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	checked := 0
+	for key, ent := range e.byKR {
+		if !ent.ready.Load() || ent.err != nil || ent.pr == nil {
+			continue
+		}
+		re := e.byR[key.r]
+		if re == nil || !re.ready.Load() {
+			continue
+		}
+		want := kcore.Decompose32(re.filtered)
+		if fmt.Sprint(ent.pr.CoreNumbers()) != fmt.Sprint(want) {
+			t.Fatalf("%s: (k=%d, r=%g): maintained core numbers diverged from a fresh peel:\n got %v\nwant %v",
+				label, key.k, key.r, ent.pr.CoreNumbers(), want)
+		}
+		checked++
+	}
+	if checked == 0 && len(e.byKR) > 0 {
+		t.Fatalf("%s: no built (k,r) entry to check", label)
+	}
+}
+
 // sameResult asserts bit-identical cores and summary statistics.
 func sameResult(t *testing.T, label string, got, want *Result) {
 	t.Helper()
@@ -296,6 +333,7 @@ func TestDynamicEngineDifferential(t *testing.T) {
 					}
 					sameResult(t, label+" max", dm, fm)
 				}
+				assertMaintainedCores(t, eng, fmt.Sprintf("step %d", step))
 			}
 			ds := eng.DynamicStats()
 			if ds.Version == 0 || ds.Updates == 0 {
@@ -303,6 +341,9 @@ func TestDynamicEngineDifferential(t *testing.T) {
 			}
 			if ds.ComponentsReused == 0 || ds.IndexesKept == 0 {
 				t.Fatalf("scoped invalidation never reused anything: %+v", ds)
+			}
+			if ds.PatchesIncremental == 0 {
+				t.Fatalf("incremental core maintenance never ran: %+v", ds)
 			}
 			t.Logf("%s: %d steps, stats %+v", cfg.name, steps, ds)
 		})
@@ -470,5 +511,364 @@ func TestDynamicEngineStatsCoherence(t *testing.T) {
 			t.Fatal(err)
 		}
 		sameResult(t, fmt.Sprintf("final (k=%d, r=%g)", p.k, p.r), de, fe)
+	}
+}
+
+// TestDynamicEngineCoreMaintenanceStreams drives skewed update streams
+// — insert-heavy and remove-heavy, on both metrics — and asserts after
+// every step that the maintained core numbers equal a fresh peeling of
+// each filtered graph, and that query results match a from-scratch
+// engine. Skewed streams stress the two asymmetric halves of the Li &
+// Yu-style repair (insertions can only raise core numbers, removals
+// only lower them).
+func TestDynamicEngineCoreMaintenanceStreams(t *testing.T) {
+	steps := 150
+	if testing.Short() {
+		steps = 50
+	}
+	for _, cfg := range diffMetrics() {
+		for _, stream := range []struct {
+			name    string
+			addFrac int // percent of edge ops that are insertions
+		}{{"insert-heavy", 85}, {"remove-heavy", 15}} {
+			cfg, stream := cfg, stream
+			t.Run(cfg.name+"/"+stream.name, func(t *testing.T) {
+				t.Parallel()
+				rng := rand.New(rand.NewSource(77))
+				m := buildDiffInstance(cfg, rng)
+				store := cfg.newStore()
+				store.Grow(m.n)
+				for u := 0; u < m.n; u++ {
+					store.SetAttributes(int32(u), m.attrs[u])
+				}
+				eng, err := NewDynamicEngine(m.graph(), store)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, p := range cfg.presets {
+					if err := eng.Warm(p.k, p.r); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for step := 0; step < steps; step++ {
+					var up Update
+					if rng.Intn(100) < stream.addFrac {
+						u := int32(rng.Intn(m.n))
+						v := int32((int(u) + 4*(1+rng.Intn(m.n/4))) % m.n)
+						if rng.Intn(4) == 0 {
+							v = int32(rng.Intn(m.n))
+						}
+						if u == v {
+							v = (v + 1) % int32(m.n)
+						}
+						up = AddEdgeUpdate(u, v)
+					} else if es := m.sortedEdges(); len(es) > 0 {
+						e := es[rng.Intn(len(es))]
+						up = RemoveEdgeUpdate(e[0], e[1])
+					} else {
+						continue
+					}
+					if err := eng.ApplyBatch([]Update{up}); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+					m.apply([]Update{up})
+					assertMaintainedCores(t, eng, fmt.Sprintf("step %d", step))
+				}
+				ds := eng.DynamicStats()
+				if ds.PatchesIncremental == 0 {
+					t.Fatalf("%s stream never took the incremental path: %+v", stream.name, ds)
+				}
+				fresh := freshEngine(cfg, m)
+				for _, p := range cfg.presets {
+					de, err := eng.Enumerate(p.k, p.r, EnumOptions{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					fe, err := fresh.Enumerate(p.k, p.r, EnumOptions{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					sameResult(t, fmt.Sprintf("final (k=%d, r=%g)", p.k, p.r), de, fe)
+				}
+				t.Logf("%s/%s: %d steps, incremental=%d full=%d visited=%d",
+					cfg.name, stream.name, steps, ds.PatchesIncremental, ds.PatchesFull, ds.CoreVisited)
+			})
+		}
+	}
+}
+
+// TestDynamicEngineReadersNotStarvedByRebuild is the regression for
+// the write path holding the engine lock across snapshot rebuilds: a
+// structure-only commit is parked mid-rebuild (via the preAdvance test
+// hook, which runs outside d.mu) and queries must still complete —
+// they would block forever on d.mu under the old
+// rebuild-under-write-lock behaviour.
+func TestDynamicEngineReadersNotStarvedByRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cfg := diffMetrics()[0]
+	m := buildDiffInstance(cfg, rng)
+	store := cfg.newStore()
+	store.Grow(m.n)
+	for u := 0; u < m.n; u++ {
+		store.SetAttributes(int32(u), m.attrs[u])
+	}
+	eng, err := NewDynamicEngine(m.graph(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cfg.presets[0]
+	if err := eng.Warm(p.k, p.r); err != nil {
+		t.Fatal(err)
+	}
+	versionBefore := eng.DynamicStats().Version
+
+	// Pick an edge that is genuinely absent: adding an existing edge is
+	// an effective no-op and would skip the rebuild entirely.
+	var au, av int32 = -1, -1
+	for u := int32(0); u < int32(m.n) && au < 0; u++ {
+		for v := u + 1; v < int32(m.n); v++ {
+			if !m.edges[normPair(u, v)] {
+				au, av = u, v
+				break
+			}
+		}
+	}
+	if au < 0 {
+		t.Fatal("instance is a complete graph; cannot pick an absent edge")
+	}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	eng.preAdvance = func() {
+		close(entered)
+		<-release
+	}
+	done := make(chan error, 1)
+	go func() { done <- eng.AddEdge(au, av) }() // structure-only commit
+	<-entered                                   // the commit is now mid-rebuild
+
+	// Queries against the still-current snapshot must complete while
+	// the rebuild is parked; a timeout here means the write path held
+	// the engine lock across the rebuild.
+	queried := make(chan error, 1)
+	go func() {
+		_, err := eng.Enumerate(p.k, p.r, EnumOptions{})
+		queried <- err
+	}()
+	select {
+	case err := <-queried:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("query blocked behind an in-flight snapshot rebuild")
+	}
+	if v := eng.DynamicStats().Version; v != versionBefore {
+		t.Fatalf("snapshot published before the rebuild finished: version %d -> %d", versionBefore, v)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if v := eng.DynamicStats().Version; v != versionBefore+1 {
+		t.Fatalf("commit did not publish: version %d -> %d", versionBefore, v)
+	}
+}
+
+// TestDynamicEngineGroupCommitStress hammers the write path with 16
+// concurrent writers over disjoint edge slots (so per-writer program
+// order fully determines the final graph) while readers query — the
+// race-detector target for the group-commit machinery. Afterwards the
+// per-batch counters must be exact, and the settled state must match
+// the mirror and a from-scratch engine.
+func TestDynamicEngineGroupCommitStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	cfg := diffMetrics()[0]
+	m := buildDiffInstance(cfg, rng)
+	store := cfg.newStore()
+	store.Grow(m.n)
+	for u := 0; u < m.n; u++ {
+		store.SetAttributes(int32(u), m.attrs[u])
+	}
+	eng, err := NewDynamicEngine(m.graph(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cfg.presets[0]
+	if err := eng.Warm(p.k, p.r); err != nil {
+		t.Fatal(err)
+	}
+	// Slow each structure-only rebuild down slightly so followers pile
+	// up behind the leader and rounds genuinely coalesce; on a bare
+	// 56-vertex instance commits otherwise finish faster than writers
+	// can collide.
+	eng.preAdvance = func() { time.Sleep(500 * time.Microsecond) }
+
+	// Writer w owns the edge slots {(w, w+16+i)}: all writers' update
+	// sets commute, so the final edge set is each writer's last word on
+	// each slot, whatever the commit interleaving.
+	const writers = 16
+	batchesPer := 12
+	if testing.Short() {
+		batchesPer = 6
+	}
+	type slotOp struct {
+		up  Update
+		add bool
+	}
+	plans := make([][][]slotOp, writers)
+	seedRng := rand.New(rand.NewSource(99))
+	for w := 0; w < writers; w++ {
+		plans[w] = make([][]slotOp, batchesPer)
+		for b := 0; b < batchesPer; b++ {
+			ops := make([]slotOp, 1+seedRng.Intn(3))
+			for i := range ops {
+				u := int32(w)
+				v := int32((w + 17 + seedRng.Intn(8)) % m.n)
+				if u == v {
+					v = (v + 1) % int32(m.n)
+				}
+				if seedRng.Intn(2) == 0 {
+					ops[i] = slotOp{up: AddEdgeUpdate(u, v), add: true}
+				} else {
+					ops[i] = slotOp{up: RemoveEdgeUpdate(u, v)}
+				}
+			}
+			plans[w][b] = ops
+		}
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, writers+4)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, ops := range plans[w] {
+				batch := make([]Update, len(ops))
+				for i, op := range ops {
+					batch[i] = op.up
+				}
+				if err := eng.ApplyBatch(batch); err != nil {
+					errc <- fmt.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+			errc <- nil
+		}(w)
+	}
+	for rdr := 0; rdr < 4; rdr++ {
+		wg.Add(1)
+		go func(rdr int) {
+			defer wg.Done()
+			for q := 0; q < 25; q++ {
+				if _, err := eng.Enumerate(p.k, p.r, EnumOptions{}); err != nil {
+					errc <- fmt.Errorf("reader %d: %v", rdr, err)
+					return
+				}
+			}
+			errc <- nil
+		}(rdr)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Replay every writer's plan into the mirror (disjoint slots, so
+	// order across writers is irrelevant).
+	var totalBatches, totalOps int64
+	for w := 0; w < writers; w++ {
+		for _, ops := range plans[w] {
+			totalBatches++
+			for _, op := range ops {
+				totalOps++
+				m.apply([]Update{op.up})
+			}
+		}
+	}
+	ds := eng.DynamicStats()
+	if ds.Batches != totalBatches || ds.Updates != totalOps {
+		t.Fatalf("batches=%d updates=%d, want %d/%d: %+v", ds.Batches, ds.Updates, totalBatches, totalOps, ds)
+	}
+	if ds.GroupCommits == 0 || ds.GroupCommits > ds.Batches {
+		t.Fatalf("implausible group-commit count: %+v", ds)
+	}
+	if ds.GroupCommits == ds.Batches {
+		t.Errorf("no coalescing observed: every batch committed in its own round (%d rounds)", ds.GroupCommits)
+	}
+	if ds.Version > ds.GroupCommits {
+		t.Fatalf("more published versions than commit rounds: %+v", ds)
+	}
+	if eng.N() != m.n || eng.M() != len(m.edges) {
+		t.Fatalf("engine N=%d M=%d, mirror N=%d M=%d", eng.N(), eng.M(), m.n, len(m.edges))
+	}
+	assertMaintainedCores(t, eng, "settled")
+	fresh := freshEngine(cfg, m)
+	de, err := eng.Enumerate(p.k, p.r, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := fresh.Enumerate(p.k, p.r, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "settled", de, fe)
+	t.Logf("batches=%d rounds=%d coalesce=%.2f", ds.Batches, ds.GroupCommits,
+		float64(ds.Batches)/float64(ds.GroupCommits))
+}
+
+// TestDynamicEngineGroupCommitAtomicity drives mixed valid/invalid
+// batches through concurrent writers: each invalid batch must be
+// rejected with its own *BatchError while every valid batch commits,
+// including valid batches that race invalid ones into the same round.
+func TestDynamicEngineGroupCommitAtomicity(t *testing.T) {
+	g := NewGraphBuilder(8)
+	g.AddEdge(0, 1)
+	eng, err := NewDynamicEngine(g.Build(), NewGeoAttributes(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 8
+	const rounds = 20
+	var wg sync.WaitGroup
+	var rejected, committed atomic.Int64
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if w%2 == 0 {
+					// Invalid: out-of-range endpoint; always rejected.
+					err := eng.ApplyBatch([]Update{AddEdgeUpdate(0, 1), AddEdgeUpdate(3, 127)})
+					var be *BatchError
+					if err == nil || !errors.As(err, &be) || be.Index != 1 {
+						panic(fmt.Sprintf("writer %d: invalid batch: got %v", w, err))
+					}
+					rejected.Add(1)
+				} else {
+					u := int32(w)
+					v := int32((w + 1 + i) % 8)
+					if u == v {
+						v = (v + 1) % 8
+					}
+					if err := eng.ApplyBatch([]Update{AddEdgeUpdate(u, v)}); err != nil {
+						panic(fmt.Sprintf("writer %d: valid batch rejected: %v", w, err))
+					}
+					committed.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	ds := eng.DynamicStats()
+	if ds.Batches != committed.Load() {
+		t.Fatalf("batches=%d, want %d accepted", ds.Batches, committed.Load())
+	}
+	if rejected.Load() != writers/2*rounds {
+		t.Fatalf("rejected=%d, want %d", rejected.Load(), writers/2*rounds)
 	}
 }

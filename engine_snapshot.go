@@ -63,13 +63,17 @@ func (d *DynamicEngine) SaveSnapshot(w io.Writer) error {
 		return err
 	}
 	st.Dynamic = &snapshot.DynamicState{
-		Updates:           d.stats.Updates,
-		Batches:           d.stats.Batches,
-		Version:           d.stats.Version,
-		IndexesKept:       d.stats.IndexesKept,
-		IndexesRebuilt:    d.stats.IndexesRebuilt,
-		ComponentsReused:  d.stats.ComponentsReused,
-		ComponentsRebuilt: d.stats.ComponentsRebuilt,
+		Updates:            d.stats.Updates,
+		Batches:            d.stats.Batches,
+		Version:            d.stats.Version,
+		IndexesKept:        d.stats.IndexesKept,
+		IndexesRebuilt:     d.stats.IndexesRebuilt,
+		ComponentsReused:   d.stats.ComponentsReused,
+		ComponentsRebuilt:  d.stats.ComponentsRebuilt,
+		GroupCommits:       d.stats.GroupCommits,
+		PatchesIncremental: d.stats.PatchesIncremental,
+		PatchesFull:        d.stats.PatchesFull,
+		CoreVisited:        d.stats.CoreVisited,
 	}
 	return snapshot.Write(w, st)
 }
@@ -96,13 +100,17 @@ func LoadDynamicEngine(r io.Reader) (*DynamicEngine, error) {
 	de := &DynamicEngine{attrs: attrs, g: eng.g, eng: eng}
 	if st.Dynamic != nil {
 		de.stats = DynamicStats{
-			Updates:           st.Dynamic.Updates,
-			Batches:           st.Dynamic.Batches,
-			Version:           st.Dynamic.Version,
-			IndexesKept:       st.Dynamic.IndexesKept,
-			IndexesRebuilt:    st.Dynamic.IndexesRebuilt,
-			ComponentsReused:  st.Dynamic.ComponentsReused,
-			ComponentsRebuilt: st.Dynamic.ComponentsRebuilt,
+			Updates:            st.Dynamic.Updates,
+			Batches:            st.Dynamic.Batches,
+			Version:            st.Dynamic.Version,
+			IndexesKept:        st.Dynamic.IndexesKept,
+			IndexesRebuilt:     st.Dynamic.IndexesRebuilt,
+			ComponentsReused:   st.Dynamic.ComponentsReused,
+			ComponentsRebuilt:  st.Dynamic.ComponentsRebuilt,
+			GroupCommits:       st.Dynamic.GroupCommits,
+			PatchesIncremental: st.Dynamic.PatchesIncremental,
+			PatchesFull:        st.Dynamic.PatchesFull,
+			CoreVisited:        st.Dynamic.CoreVisited,
 		}
 	}
 	return de, nil

@@ -2,9 +2,11 @@ package krcore_test
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"flag"
 	"fmt"
+	"hash/crc32"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -302,6 +304,34 @@ var corruptFixtures = []struct {
 		copy(mut, "NOTASNAP")
 		return mut
 	}, snapshot.ErrMagic},
+	// A format-v2 prepared section whose first maintained core number is
+	// forged out of range (above any possible degree), with the section
+	// checksum recomputed so only the semantic validation can catch it.
+	{"corrupt_corenum.snap", corruptPreparedCore, snapshot.ErrCorrupt},
+}
+
+// corruptPreparedCore rewrites the first prepared section of a good v2
+// snapshot, setting the first maintained core number to MaxInt32 and
+// recomputing the section CRC. Section framing: 16-byte header, then
+// per section id u32, length u64, payload, CRC-32C u32. The prepared
+// payload is r f64, k u32, n u64, core-count u64, then the core values.
+func corruptPreparedCore(g []byte) []byte {
+	mut := append([]byte(nil), g...)
+	off := 16
+	for off+12 <= len(mut) {
+		id := binary.LittleEndian.Uint32(mut[off:])
+		n := int(binary.LittleEndian.Uint64(mut[off+4:]))
+		payload := mut[off+12 : off+12+n]
+		if id == 4 { // prepared section
+			core0 := 8 + 4 + 8 + 8
+			binary.LittleEndian.PutUint32(payload[core0:], 0x7fffffff)
+			crc := crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli))
+			binary.LittleEndian.PutUint32(mut[off+12+n:], crc)
+			return mut
+		}
+		off += 12 + n + 4
+	}
+	panic("no prepared section in golden fixture")
 }
 
 // TestSnapshotCorruptFixtures checks the committed corrupt fixtures
@@ -354,6 +384,96 @@ func writeGoldenFixtures(t *testing.T) {
 		}
 		t.Logf("wrote %s (%d bytes)", cf.name, len(raw))
 	}
+}
+
+// TestSnapshotV1Compat pins backward compatibility with format v1:
+// the committed v1 fixtures (written before the format carried core
+// numbers or write-path counters) must load, serve bit-identically to
+// a freshly built engine, and re-save as canonical current-version
+// bytes — exactly the corresponding v2 golden. The v1 fixtures are
+// frozen copies of the pre-v2 goldens; never regenerate them.
+func TestSnapshotV1Compat(t *testing.T) {
+	t.Run("static", func(t *testing.T) {
+		raw, err := os.ReadFile(filepath.Join(goldenDir, "v1_geo.snap"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := krcore.LoadEngine(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := krcore.LoadEngine(bytes.NewReader(encodeFixture(t, goldenFixtures[0])))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cell := range goldenFixtures[0].warmed {
+			a, err := eng.Enumerate(cell.k, cell.r, krcore.EnumOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := fresh.Enumerate(cell.k, cell.r, krcore.EnumOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(a.Cores) != fmt.Sprint(b.Cores) || a.Nodes != b.Nodes {
+				t.Fatalf("(k=%d, r=%g): v1 load disagrees with fresh engine", cell.k, cell.r)
+			}
+		}
+		var re bytes.Buffer
+		if err := eng.SaveSnapshot(&re); err != nil {
+			t.Fatal(err)
+		}
+		v2, err := os.ReadFile(filepath.Join(goldenDir, "geo.snap"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re.Bytes(), v2) {
+			t.Fatal("v1 load did not re-save as the canonical v2 bytes")
+		}
+	})
+	t.Run("dynamic", func(t *testing.T) {
+		raw, err := os.ReadFile(filepath.Join(goldenDir, "v1_dynamic.snap"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := krcore.LoadDynamicEngine(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eng.JournalOffset() == 0 {
+			t.Fatal("v1 dynamic fixture lost its journal offset")
+		}
+		ds := eng.DynamicStats()
+		if ds.GroupCommits != 0 || ds.PatchesIncremental != 0 || ds.PatchesFull != 0 {
+			t.Fatalf("v1 load invented write-path counters: %+v", ds)
+		}
+		// The write-path counters were not alive when the v1 fixture was
+		// written, so its re-save cannot equal the v2 golden bytes; what
+		// must hold is that it re-saves AS v2 (header version field),
+		// keeps its journal offset, and is byte-stable from then on.
+		var re bytes.Buffer
+		if err := eng.SaveSnapshot(&re); err != nil {
+			t.Fatal(err)
+		}
+		if v := binary.LittleEndian.Uint32(re.Bytes()[8:]); v != 2 {
+			t.Fatalf("v1 dynamic load re-saved as version %d, want 2", v)
+		}
+		again, err := krcore.LoadDynamicEngine(bytes.NewReader(re.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.JournalOffset() != eng.JournalOffset() {
+			t.Fatalf("journal offset %d after v1→v2 upgrade, want %d",
+				again.JournalOffset(), eng.JournalOffset())
+		}
+		var re2 bytes.Buffer
+		if err := again.SaveSnapshot(&re2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re.Bytes(), re2.Bytes()) {
+			t.Fatal("upgraded snapshot is not byte-stable")
+		}
+	})
 }
 
 // TestSnapshotStatsAcrossSaveLoad is the table-driven regression for

@@ -38,6 +38,17 @@ func FuzzDynamicApply(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// Warm the query presets up front so the incremental maintenance
+		// path (rather than lazy full preparation) serves every step, and
+		// the per-step core-number check below has entries to inspect.
+		for _, p := range []struct {
+			k int
+			r float64
+		}{{2, 1.6}, {3, 3.2}} {
+			if err := eng.Warm(p.k, p.r); err != nil {
+				t.Fatal(err)
+			}
+		}
 
 		ops := 0
 		for i := 0; i+2 < len(data) && ops < 60; i += 3 {
@@ -84,6 +95,9 @@ func FuzzDynamicApply(f *testing.F) {
 			if eng.N() != m.n || eng.M() != len(m.edges) {
 				t.Fatalf("engine N=%d M=%d, mirror N=%d M=%d", eng.N(), eng.M(), m.n, len(m.edges))
 			}
+			// The maintained core numbers must equal a fresh peeling of
+			// each filtered graph after every accepted batch.
+			assertMaintainedCores(t, eng, fmt.Sprintf("op %d", ops))
 		}
 
 		// Differential check at the settled state.

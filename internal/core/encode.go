@@ -6,6 +6,7 @@ import (
 
 	"krcore/internal/binenc"
 	"krcore/internal/graph"
+	"krcore/internal/kcore"
 	"krcore/internal/simgraph"
 	"krcore/internal/similarity"
 )
@@ -14,13 +15,28 @@ import (
 func (pr *Prepared) K() int { return pr.p.K }
 
 // AppendPrepared serialises the candidate components of one (k,r)
-// problem: K, the source-graph vertex count, then per component the
-// structural adjacency, the dissimilarity lists and the local-to-global
-// vertex mapping. Derived state (maxDeg, the byDeg order, pair counts)
-// is recomputed on decode, keeping the encoding canonical.
+// problem: K, the source-graph vertex count, the maintained per-vertex
+// core numbers (format v2), then per component the structural
+// adjacency, the dissimilarity lists and the local-to-global vertex
+// mapping. Derived state (maxDeg, the byDeg order, pair counts, the
+// component-id map) is recomputed on decode, keeping the encoding
+// canonical.
 func AppendPrepared(b *binenc.Buffer, pr *Prepared) {
+	appendPrepared(b, pr, true)
+}
+
+// AppendPreparedV1 writes the format-v1 payload (no core numbers);
+// only the snapshot backward-compatibility tests use it.
+func AppendPreparedV1(b *binenc.Buffer, pr *Prepared) {
+	appendPrepared(b, pr, false)
+}
+
+func appendPrepared(b *binenc.Buffer, pr *Prepared, withCore bool) {
 	b.U32(uint32(pr.p.K))
 	b.U64(uint64(pr.n))
+	if withCore {
+		b.I32s(pr.coreNums)
+	}
 	b.U64(uint64(len(pr.probs)))
 	for _, p := range pr.probs {
 		graph.AppendAdjacency(b, p.adj)
@@ -32,22 +48,52 @@ func AppendPrepared(b *binenc.Buffer, pr *Prepared) {
 // DecodePrepared reconstructs a Prepared written by AppendPrepared.
 // The oracle supplies the similarity half of its Params (the oracle is
 // rebuilt by the snapshot layer, it is not part of this payload);
-// wantN anchors the source-graph vertex count. Every structural
-// invariant the searches assume is re-validated: component adjacency
-// and dissimilarity lists sorted and in local range, local and global
-// vertex counts consistent, the local-to-global mapping strictly
-// ascending within the source graph.
-func DecodePrepared(r *binenc.Reader, o *similarity.Oracle, wantN int) (*Prepared, error) {
+// wantN anchors the source-graph vertex count; filtered is the
+// threshold's dissimilar-edge-filtered graph the problem was prepared
+// on. withCore selects the payload flavour: format v2 carries the
+// maintained core numbers (validated against filtered's degrees), a
+// v1 payload omits them and they are recomputed by linear peeling.
+// Every structural invariant the searches assume is re-validated:
+// component adjacency and dissimilarity lists sorted and in local
+// range, local and global vertex counts consistent, the
+// local-to-global mapping strictly ascending within the source graph,
+// every component member's core number at least K.
+func DecodePrepared(r *binenc.Reader, o *similarity.Oracle, wantN int,
+	filtered *graph.Graph, withCore bool) (*Prepared, error) {
 	k := int(r.U32())
 	n := int(r.U64())
-	cnt := r.Count(16) // each component occupies well above 16 bytes
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("core: prepared: %w", err)
 	}
 	if n != wantN {
 		return nil, fmt.Errorf("core: prepared for %d vertices, graph has %d", n, wantN)
 	}
-	pr := &Prepared{p: Params{K: k, Oracle: o}, n: n}
+	if filtered == nil || filtered.N() != n {
+		return nil, fmt.Errorf("core: prepared needs its filtered graph over %d vertices", n)
+	}
+	var coreNums []int32
+	if withCore {
+		coreNums = r.I32s()
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("core: prepared core numbers: %w", err)
+		}
+		if len(coreNums) != n {
+			return nil, fmt.Errorf("core: %d core numbers for %d vertices", len(coreNums), n)
+		}
+		for v, c := range coreNums {
+			if c < 0 || int(c) > filtered.Degree(int32(v)) {
+				return nil, fmt.Errorf("core: vertex %d has core number %d outside [0,%d]",
+					v, c, filtered.Degree(int32(v)))
+			}
+		}
+	} else {
+		coreNums = kcore.Decompose32(filtered)
+	}
+	cnt := r.Count(16) // each component occupies well above 16 bytes
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("core: prepared: %w", err)
+	}
+	pr := &Prepared{p: Params{K: k, Oracle: o}, n: n, coreNums: coreNums, compID: newCompIDs(n)}
 	if err := pr.p.validate(); err != nil {
 		return nil, err
 	}
@@ -77,6 +123,11 @@ func DecodePrepared(r *binenc.Reader, o *similarity.Oracle, wantN int) (*Prepare
 			if j > 0 && v <= orig[j-1] {
 				return nil, fmt.Errorf("core: component %d: mapping not strictly ascending", i)
 			}
+			if int(coreNums[v]) < k {
+				return nil, fmt.Errorf("core: component %d: member %d has core number %d below k=%d",
+					i, v, coreNums[v], k)
+			}
+			pr.compID[v] = orig[0]
 		}
 		p := &problem{
 			k:      k,

@@ -8,11 +8,13 @@ import (
 	"krcore/internal/attr"
 	"krcore/internal/binenc"
 	"krcore/internal/graph"
+	"krcore/internal/kcore"
 	"krcore/internal/similarity"
 )
 
 // preparedFixture builds a Prepared over a small clustered geo
-// instance with at least one real candidate component.
+// instance with at least one real candidate component, returning the
+// filtered graph decoding anchors against.
 func preparedFixture(t *testing.T) (*Prepared, Params, *graph.Graph) {
 	t.Helper()
 	const n = 70
@@ -35,14 +37,14 @@ func preparedFixture(t *testing.T) (*Prepared, Params, *graph.Graph) {
 	if pr.Components() == 0 {
 		t.Fatal("fixture has no candidate components")
 	}
-	return pr, p, g
+	return pr, p, FilterDissimilar(g, o)
 }
 
 func TestPreparedBinaryRoundTrip(t *testing.T) {
-	pr, p, g := preparedFixture(t)
+	pr, p, filtered := preparedFixture(t)
 	var b binenc.Buffer
 	AppendPrepared(&b, pr)
-	got, err := DecodePrepared(binenc.NewReader(b.Bytes()), p.Oracle, g.N())
+	got, err := DecodePrepared(binenc.NewReader(b.Bytes()), p.Oracle, filtered.N(), filtered, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,28 +81,74 @@ func TestPreparedBinaryRoundTrip(t *testing.T) {
 	if string(b.Bytes()) != string(b2.Bytes()) {
 		t.Fatal("re-encode not byte-stable")
 	}
+	// The maintained core numbers survive the round trip and match a
+	// fresh peel of the filtered graph.
+	if fmt.Sprint(got.CoreNumbers()) != fmt.Sprint(kcore.Decompose32(filtered)) {
+		t.Fatal("decoded core numbers differ from a fresh decomposition")
+	}
+}
+
+// TestDecodePreparedV1 checks the backward-compatible path: a v1
+// payload (no core numbers) decodes with the core numbers recomputed
+// by linear peeling, searching bit-identically to the original.
+func TestDecodePreparedV1(t *testing.T) {
+	pr, p, filtered := preparedFixture(t)
+	var b binenc.Buffer
+	AppendPreparedV1(&b, pr)
+	got, err := DecodePrepared(binenc.NewReader(b.Bytes()), p.Oracle, filtered.N(), filtered, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Components() != pr.Components() {
+		t.Fatalf("v1 decode has %d components, want %d", got.Components(), pr.Components())
+	}
+	if fmt.Sprint(got.CoreNumbers()) != fmt.Sprint(pr.CoreNumbers()) {
+		t.Fatal("v1 decode recomputed different core numbers")
+	}
+	// Re-encoding at v2 must match the original's v2 encoding: the
+	// recomputed core numbers are canonical.
+	var v2a, v2b binenc.Buffer
+	AppendPrepared(&v2a, pr)
+	AppendPrepared(&v2b, got)
+	if string(v2a.Bytes()) != string(v2b.Bytes()) {
+		t.Fatal("v1 decode re-encodes differently at v2")
+	}
 }
 
 func TestDecodePreparedRejectsCorruption(t *testing.T) {
-	pr, p, g := preparedFixture(t)
+	pr, p, filtered := preparedFixture(t)
+	n := filtered.N()
 	var b binenc.Buffer
 	AppendPrepared(&b, pr)
 	raw := b.Bytes()
 
 	// Vertex-count anchor mismatch.
-	if _, err := DecodePrepared(binenc.NewReader(raw), p.Oracle, g.N()+1); err == nil {
+	if _, err := DecodePrepared(binenc.NewReader(raw), p.Oracle, n+1, filtered, true); err == nil {
 		t.Fatal("anchor mismatch accepted")
+	}
+	// Missing or mismatched filtered graph.
+	if _, err := DecodePrepared(binenc.NewReader(raw), p.Oracle, n, nil, true); err == nil {
+		t.Fatal("nil filtered graph accepted")
 	}
 	// Truncation at several depths.
 	for _, cut := range []int{4, 20, len(raw) / 2, len(raw) - 1} {
-		if _, err := DecodePrepared(binenc.NewReader(raw[:cut]), p.Oracle, g.N()); err == nil {
+		if _, err := DecodePrepared(binenc.NewReader(raw[:cut]), p.Oracle, n, filtered, true); err == nil {
 			t.Fatalf("truncation at %d accepted", cut)
 		}
 	}
 	// k = 0 violates Params validation.
 	mut := append([]byte(nil), raw...)
 	mut[0], mut[1], mut[2], mut[3] = 0, 0, 0, 0
-	if _, err := DecodePrepared(binenc.NewReader(mut), p.Oracle, g.N()); err == nil {
+	if _, err := DecodePrepared(binenc.NewReader(mut), p.Oracle, n, filtered, true); err == nil {
 		t.Fatal("k=0 accepted")
+	}
+	// A core number above the vertex's filtered degree is impossible.
+	// Layout: k u32, n u64, then the length-prefixed core array; the
+	// first core value sits right after the array's u64 length.
+	mut = append([]byte(nil), raw...)
+	off := 4 + 8 + 8
+	mut[off], mut[off+1], mut[off+2], mut[off+3] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := DecodePrepared(binenc.NewReader(mut), p.Oracle, n, filtered, true); err == nil {
+		t.Fatal("out-of-range core number accepted")
 	}
 }

@@ -35,6 +35,41 @@ type Prepared struct {
 	n     int        // vertex count of the source graph (anchor validation)
 	probs []*problem // candidate components in discovery order
 	byDeg []*problem // the same components sorted by maxDeg descending
+
+	// coreNums holds the core number of every vertex of the filtered
+	// graph (length n), the substrate incremental maintenance repairs
+	// instead of re-peeling (see PatchPreparedDelta). compID maps each
+	// vertex to the smallest vertex of its candidate component — the key
+	// its problem is identified by — or -1 for vertices outside every
+	// prepared component. Both are immutable once built and shared
+	// copy-on-write across patches that leave them unchanged.
+	coreNums []int32
+	compID   []int32
+}
+
+// CoreNumbers returns the per-vertex core numbers of the filtered graph
+// the problem was prepared on. The slice is shared and must not be
+// modified.
+func (pr *Prepared) CoreNumbers() []int32 { return pr.coreNums }
+
+// newCompIDs returns a component-id array with every vertex unassigned.
+func newCompIDs(n int) []int32 {
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = -1
+	}
+	return ids
+}
+
+// coreMembers lists the vertices with core number >= k, ascending.
+func coreMembers(core []int32, k int) []int32 {
+	var out []int32
+	for u, c := range core {
+		if c >= int32(k) {
+			out = append(out, int32(u))
+		}
+	}
+	return out
 }
 
 // Prepare runs the shared preprocessing of Algorithm 1 lines 1-3 and
@@ -71,14 +106,19 @@ func PrepareFiltered(filtered *graph.Graph, p Params) (*Prepared, error) {
 		return nil, err
 	}
 	pr := &Prepared{p: p, n: filtered.N()}
+	pr.coreNums = kcore.Decompose32(filtered)
+	pr.compID = newCompIDs(pr.n)
 	src := simindex.For(p.Oracle)
-	kc := kcore.KCore(filtered, p.K)
+	kc := coreMembers(pr.coreNums, p.K)
 	if len(kc) == 0 {
 		return pr, nil
 	}
 	for _, comp := range filtered.ComponentsOf(kc) {
 		if len(comp) < p.K+1 {
 			continue
+		}
+		for _, v := range comp {
+			pr.compID[v] = comp[0]
 		}
 		pr.probs = append(pr.probs, buildProblem(filtered, src, p, comp))
 	}

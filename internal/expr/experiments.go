@@ -51,6 +51,8 @@ var Experiments = []Experiment{
 	{"serve", "HTTP daemon throughput under admission control (geo presets)", Serve},
 	// Beyond the paper: snapshot persistence (PR 5).
 	{"snapshot", "engine snapshot load vs rebuild (all presets)", Snapshot},
+	// Beyond the paper: incremental core maintenance + group commit (PR 6).
+	{"writepath", "write path: incremental core repair + group commit (all presets)", WritePath},
 }
 
 // Find returns the experiment with the given id, or nil.

@@ -1,0 +1,282 @@
+package expr
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"krcore"
+	"krcore/internal/core"
+	"krcore/internal/dataset"
+	"krcore/internal/graph"
+	"krcore/internal/updates"
+)
+
+// WritePath measures the PR 6 write-path optimisations.
+//
+// Single-edge core maintenance: the cost of keeping a prepared (k,r)
+// setting current across one filtered-graph edge flip, comparing the
+// Li & Yu-style incremental repair (traverse only the affected region
+// around the changed endpoints) against the full recompute the engine
+// used before (re-peel the whole filtered graph; forced here via a
+// one-vertex visit budget, which makes the repair bail out immediately
+// and fall back). Both paths produce bit-identical Prepared state —
+// the differential tests pin that down — so the ratio is pure
+// maintenance cost. The gap is asymptotic: full recompute is O(n+m),
+// the repair touches a near-constant region, so dblp and pokec run at
+// the paper's original million-edge scale (the standard stand-ins are
+// reduced 50-100x, which hides exactly the term this PR removes).
+//
+// Concurrent writers: sustained 1-op ApplyBatch throughput against a
+// journaled engine with 16 writers, group commit (concurrent calls
+// coalesce into shared commit rounds — one journal fsync, one advance
+// for the whole group) versus serialised commits (one round per batch,
+// the pre-group-commit behaviour, simulated by an external mutex
+// around ApplyBatch).
+func WritePath(r *Runner) *Report {
+	rep := &Report{
+		ID:     "writepath",
+		Title:  "Write path: incremental core maintenance + group commit (k=5, default r)",
+		XLabel: "dataset",
+		Xs:     dataset.PresetNames(),
+	}
+	var sizes, fulls, incrs, speedups []string
+	instances := make(map[string]*dataset.Dataset)
+	for _, name := range rep.Xs {
+		d := maintenanceInstance(r, name)
+		instances[name] = d
+		fullT, incrT := singleEdgeMaintenance(r, name, d)
+		sizes = append(sizes, fmt.Sprintf("%dk", d.Graph.M()/1000))
+		fulls = append(fulls, fmtDuration(fullT, false))
+		incrs = append(incrs, fmtDuration(incrT, false))
+		if incrT > 0 {
+			speedups = append(speedups, fmt.Sprintf("%.1fx", float64(fullT)/float64(incrT)))
+		} else {
+			speedups = append(speedups, "-")
+		}
+	}
+	rep.AddSeries("edges", sizes)
+	rep.AddSeries("full recompute / edge", fulls)
+	rep.AddSeries("incremental repair / edge", incrs)
+	rep.AddSeries("full / incremental", speedups)
+
+	var serialTps, groupTps, gains, coalesce []string
+	throughput := map[string]bool{"dblp": true, "pokec": true}
+	for _, name := range rep.Xs {
+		if !throughput[name] {
+			// The concurrent-writer measurement targets the million-edge
+			// instances, where commit rounds are long enough to matter.
+			serialTps, groupTps = append(serialTps, "-"), append(groupTps, "-")
+			gains, coalesce = append(gains, "-"), append(coalesce, "-")
+			continue
+		}
+		st, gt, factor := writerThroughput(r, name, instances[name])
+		serialTps = append(serialTps, fmt.Sprintf("%.0f/s", st))
+		groupTps = append(groupTps, fmt.Sprintf("%.0f/s", gt))
+		if st > 0 {
+			gains = append(gains, fmt.Sprintf("%.1fx", gt/st))
+		} else {
+			gains = append(gains, "-")
+		}
+		coalesce = append(coalesce, fmt.Sprintf("%.1f", factor))
+	}
+	rep.AddSeries("16-writer serialised commits", serialTps)
+	rep.AddSeries("16-writer group commit", groupTps)
+	rep.AddSeries("group / serialised", gains)
+	rep.AddSeries("batches per commit round", coalesce)
+	rep.Notes = append(rep.Notes,
+		"single-edge rows: mean over sampled filtered-graph edge removals+insertions against a warm k=5 Prepared",
+		"full recompute = the pre-incremental path (repair budget forced to 1 vertex, immediate fallback to re-peeling)",
+		"dblp and pokec regenerated at the paper's million-edge scale; brightkite and gowalla use the standard stand-ins",
+		"throughput rows: 16 writers x 48 one-op batches on writer-disjoint edge slots against warm journaled engines over the million-edge instances",
+		"serialised = an external mutex around ApplyBatch, so every batch pays its own commit round and journal fsync",
+		"batches per commit round = Batches/GroupCommits of the group-commit run (the coalescing factor)",
+		"coalescing needs writers that overlap commit rounds: the harness runs both modes at GOMAXPROCS=8 so a single-core host still timeslices writers against the leader's round")
+	return rep
+}
+
+// maintenanceInstance returns the graph the single-edge comparison runs
+// on: the standard stand-in for the geo presets, a million-edge
+// regeneration (the paper's original scale) for dblp and pokec, where
+// the O(n+m) vs O(region) separation is the point of the measurement.
+func maintenanceInstance(r *Runner, name string) *dataset.Dataset {
+	scale := map[string]int{"dblp": 60, "pokec": 50}[name]
+	if scale == 0 {
+		return r.Dataset(name)
+	}
+	cfg, err := dataset.Preset(name)
+	if err != nil {
+		panic(err)
+	}
+	cfg.N *= scale
+	cfg.NumCommunities *= scale
+	cfg.HubCount *= 4
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// singleEdgeMaintenance times one filtered-graph edge flip (remove,
+// then re-insert) through PatchPreparedDelta on the given instance,
+// with the repair budget at its default (incremental) and forced to
+// one vertex (full-recompute fallback). Returns mean per-patch latency.
+func singleEdgeMaintenance(r *Runner, name string, d *dataset.Dataset) (fullT, incrT time.Duration) {
+	thr := presetThreshold(r, name)
+	o := d.Oracle(thr)
+	p := core.Params{K: servingK, Oracle: o}
+	filtered := core.FilterDissimilar(d.Graph, o)
+	pr, err := core.PrepareFiltered(filtered, p)
+	if err != nil {
+		panic(err)
+	}
+
+	// Sample edges spread across the filtered graph.
+	samples := 40
+	if filtered.M() > 100000 {
+		samples = 12 // the full-recompute side costs O(m) per sample
+	}
+	var edges [][2]int32
+	stride := filtered.M()/samples + 1
+	i := 0
+	filtered.Edges(func(u, v int32) {
+		if i%stride == 0 {
+			edges = append(edges, [2]int32{u, v})
+		}
+		i++
+	})
+
+	patch := func(old *core.Prepared, g2 *graph.Graph, delta core.PatchDelta) time.Duration {
+		t0 := time.Now()
+		if _, _, err := core.PatchPreparedDelta(old, g2, p, delta); err != nil {
+			panic(err)
+		}
+		return time.Since(t0)
+	}
+	touched := make([]bool, filtered.N())
+	for _, mode := range []struct {
+		maxVisit int
+		out      *time.Duration
+	}{{1, &fullT}, {0, &incrT}} {
+		var total time.Duration
+		for _, e := range edges {
+			del := graph.NewDelta(filtered)
+			if err := del.RemoveEdge(e[0], e[1]); err != nil {
+				panic(err)
+			}
+			minus := filtered.Apply(del)
+			pair := [][2]int32{e}
+			touched[e[0]], touched[e[1]] = true, true
+			total += patch(pr, minus, core.PatchDelta{DelFiltered: pair, Touched: touched, MaxVisit: mode.maxVisit})
+			// And back: the insertion repair from the reduced graph.
+			prMinus, _, err := core.PatchPreparedDelta(pr, minus, p,
+				core.PatchDelta{DelFiltered: pair, Touched: touched})
+			if err != nil {
+				panic(err)
+			}
+			total += patch(prMinus, filtered, core.PatchDelta{AddFiltered: pair, Touched: touched, MaxVisit: mode.maxVisit})
+			touched[e[0]], touched[e[1]] = false, false
+		}
+		*mode.out = total / time.Duration(2*len(edges))
+	}
+	return fullT, incrT
+}
+
+// writerThroughput measures 16-writer 1-op ApplyBatch throughput on
+// the given instance with a durable journal attached (the krcored
+// -journal write path: every commit round is one fsynced append),
+// serialised vs group-committed, and returns both rates (batches/sec)
+// plus the group run's coalescing factor.
+//
+// Group commit only pays off when writers overlap a running commit
+// round, so both modes run at GOMAXPROCS >= 8: on a single-core bench
+// host the kernel then timeslices writer threads against the leader's
+// multi-millisecond round, which is exactly the overlap a multi-core
+// server gets for free. The workload is edge-only, so the shared
+// dataset instance is never mutated (engine graphs are immutable).
+func writerThroughput(r *Runner, name string, d *dataset.Dataset) (serialTp, groupTp, factor float64) {
+	const (
+		writers    = 16
+		perWriter  = 48
+		slotSpread = 7
+	)
+	if prev := runtime.GOMAXPROCS(0); prev < 8 {
+		runtime.GOMAXPROCS(8)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	thr := presetThreshold(r, name)
+	dir, err := os.MkdirTemp("", "writepath")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	run := func(serialise bool) (float64, float64) {
+		attrs, err := updates.Attrs(d)
+		if err != nil {
+			panic(err)
+		}
+		eng, err := krcore.NewDynamicEngine(d.Graph, attrs)
+		if err != nil {
+			panic(err)
+		}
+		if err := eng.Warm(servingK, thr); err != nil {
+			panic(err)
+		}
+		kind, err := updates.ParseKind(eng.AttributeKind())
+		if err != nil {
+			panic(err)
+		}
+		jName := fmt.Sprintf("%s-serial-%v.journal", name, serialise)
+		j, err := updates.OpenJournal(filepath.Join(dir, jName), kind)
+		if err != nil {
+			panic(err)
+		}
+		defer j.Close()
+		eng.SetJournal(j)
+		n := int32(eng.N())
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				u := int32(w)
+				for i := 0; i < perWriter; i++ {
+					// Writer-disjoint slots (u is private), alternating
+					// insert/remove so every commit does real work.
+					v := n/2 + int32(w*slotSpread+(i/2)%slotSpread)
+					up := krcore.AddEdgeUpdate(u, v)
+					if i%2 == 1 {
+						up = krcore.RemoveEdgeUpdate(u, v)
+					}
+					if serialise {
+						mu.Lock()
+					}
+					err := eng.ApplyBatch([]krcore.Update{up})
+					if serialise {
+						mu.Unlock()
+					}
+					if err != nil {
+						panic(err)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(t0)
+		ds := eng.DynamicStats()
+		f := float64(ds.Batches)
+		if ds.GroupCommits > 0 {
+			f = float64(ds.Batches) / float64(ds.GroupCommits)
+		}
+		return float64(writers*perWriter) / elapsed.Seconds(), f
+	}
+	serialTp, _ = run(true)
+	groupTp, factor = run(false)
+	return serialTp, groupTp, factor
+}

@@ -1,0 +1,321 @@
+package kcore
+
+import "krcore/internal/graph"
+
+// This file implements incremental core maintenance following Li, Yu
+// and Mao, "Efficient Core Maintenance in Large Dynamic Graphs"
+// (PAPERS.md): inserting or removing one edge changes core numbers by
+// at most one, and only within the subcore around the edge — the
+// vertices with core number c = min(core(u), core(v)) reachable from
+// the endpoints through vertices of core number exactly c. Repair
+// walks that region alone, so a single-edge update costs work
+// proportional to the affected neighbourhood instead of the O(n+m)
+// full peeling of Decompose.
+
+// Decompose32 is Decompose with the compact element type the
+// maintenance path stores: core numbers fit int32 because they are
+// bounded by vertex degree.
+func Decompose32(g *graph.Graph) []int32 {
+	core := Decompose(g)
+	out := make([]int32, len(core))
+	for i, c := range core {
+		out[i] = int32(c)
+	}
+	return out
+}
+
+// Repair updates the core decomposition in place across an edge diff:
+// core must hold the core numbers of the pre-diff graph (extended with
+// zeros for any vertices the diff grew the graph by), g is the
+// post-diff graph, and add/del are the effective changes — every add
+// pair absent before and present in g, every del pair the reverse,
+// normalized u < v, with no duplicates (graph.Delta.Diff's contract).
+//
+// Each changed edge is repaired against the graph state with all
+// earlier changes applied and all later ones not, simulated by a small
+// overlay on g, so a multi-edge batch is a sequence of provably-local
+// single-edge repairs. changed lists the distinct vertices whose core
+// number was written (a vertex changed and changed back still appears;
+// compare against the old array to filter net no-ops) — callers patch
+// downstream state from it instead of rescanning all n vertices.
+// visited counts the vertices whose neighbourhoods were scanned. When
+// budget is positive and the walk exceeds it, Repair stops and returns
+// ok=false; core is then in an unspecified state and the caller must
+// fall back to a full Decompose.
+func Repair(g *graph.Graph, core []int32, add, del [][2]int32, budget int) (changed []int32, visited int, ok bool) {
+	if len(add) == 0 && len(del) == 0 {
+		return nil, 0, true
+	}
+	rp := &repairer{g: g, core: core, budget: budget,
+		hide:  pairMap(add),
+		extra: pairMap(del),
+	}
+	// Removals run first, while every pending insertion is still hidden;
+	// insertions then run with the extra overlay already empty.
+	for _, p := range del {
+		dropPair(rp.extra, p)
+		if !rp.remove(p[0], p[1]) {
+			return nil, rp.visited, false
+		}
+	}
+	for _, p := range add {
+		dropPair(rp.hide, p)
+		if !rp.insert(p[0], p[1]) {
+			return nil, rp.visited, false
+		}
+	}
+	return rp.changed, rp.visited, true
+}
+
+// repairer carries one Repair call's state: the final graph, the core
+// array being fixed up, and the pending-change overlay that makes g
+// look like each intermediate graph.
+type repairer struct {
+	g       *graph.Graph
+	core    []int32
+	budget  int
+	visited int
+
+	// changed collects the distinct vertices whose core number was
+	// written, in write order.
+	changed    []int32
+	changedSet map[int32]bool
+
+	// hide holds not-yet-applied insertions: edges present in g that the
+	// current intermediate graph does not have. extra holds
+	// not-yet-applied removals: edges absent from g that the current
+	// intermediate graph still has. Both are symmetric.
+	hide  map[int32][]int32
+	extra map[int32][]int32
+}
+
+// pairMap expands normalized pairs into a symmetric per-vertex map.
+func pairMap(pairs [][2]int32) map[int32][]int32 {
+	if len(pairs) == 0 {
+		return nil
+	}
+	m := make(map[int32][]int32, 2*len(pairs))
+	for _, p := range pairs {
+		m[p[0]] = append(m[p[0]], p[1])
+		m[p[1]] = append(m[p[1]], p[0])
+	}
+	return m
+}
+
+// dropPair removes one applied change from the overlay, both ways.
+func dropPair(m map[int32][]int32, p [2]int32) {
+	m[p[0]] = dropVal(m[p[0]], p[1])
+	m[p[1]] = dropVal(m[p[1]], p[0])
+}
+
+func dropVal(s []int32, v int32) []int32 {
+	for i, x := range s {
+		if x == v {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// visit charges one neighbourhood scan against the budget.
+func (rp *repairer) visit() bool {
+	rp.visited++
+	return rp.budget <= 0 || rp.visited <= rp.budget
+}
+
+// eachNeighbor iterates the current intermediate graph's neighbours of
+// u: g's list minus hidden pending insertions, plus pending removals.
+func (rp *repairer) eachNeighbor(u int32, f func(v int32)) {
+	h := rp.hide[u]
+	for _, v := range rp.g.Neighbors(u) {
+		if len(h) > 0 && containsVal(h, v) {
+			continue
+		}
+		f(v)
+	}
+	for _, v := range rp.extra[u] {
+		f(v)
+	}
+}
+
+func containsVal(s []int32, v int32) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// subcore collects the vertices with core number exactly c reachable
+// from the seeds through vertices of core number c (the seeds must
+// themselves have core c). Returns nil members and false on budget
+// exhaustion.
+func (rp *repairer) subcore(seeds []int32, c int32, inS map[int32]bool) ([]int32, bool) {
+	members := append([]int32(nil), seeds...)
+	for _, s := range seeds {
+		inS[s] = true
+	}
+	for i := 0; i < len(members); i++ {
+		w := members[i]
+		if !rp.visit() {
+			return nil, false
+		}
+		rp.eachNeighbor(w, func(x int32) {
+			if rp.core[x] == c && !inS[x] {
+				inS[x] = true
+				members = append(members, x)
+			}
+		})
+	}
+	return members, true
+}
+
+// insert repairs core numbers after inserting the edge (u,v), which
+// must already be visible in the current intermediate graph. Theorem
+// (insertion): only vertices in the subcore of the smaller-core
+// endpoint(s) can gain — each by exactly one. A subcore member w
+// reaches core c+1 iff it keeps at least c+1 qualified neighbours:
+// those with core > c, plus subcore members that themselves survive.
+// That is a (c+1)-core peeling over the subcore with higher-core
+// neighbours as fixed anchors.
+func (rp *repairer) insert(u, v int32) bool {
+	c := rp.core[u]
+	if rp.core[v] < c {
+		c = rp.core[v]
+	}
+	var seeds []int32
+	if rp.core[u] == c {
+		seeds = append(seeds, u)
+	}
+	if rp.core[v] == c {
+		seeds = append(seeds, v)
+	}
+	inS := make(map[int32]bool)
+	members, ok := rp.subcore(seeds, c, inS)
+	if !ok {
+		return false
+	}
+	cd := make(map[int32]int, len(members))
+	for _, w := range members {
+		if !rp.visit() {
+			return false
+		}
+		d := 0
+		rp.eachNeighbor(w, func(x int32) {
+			if rp.core[x] > c || (rp.core[x] == c && inS[x]) {
+				d++
+			}
+		})
+		cd[w] = d
+	}
+	removed := make(map[int32]bool)
+	var stack []int32
+	for _, w := range members {
+		if cd[w] < int(c)+1 {
+			removed[w] = true
+			stack = append(stack, w)
+		}
+	}
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !rp.visit() {
+			return false
+		}
+		rp.eachNeighbor(w, func(x int32) {
+			if inS[x] && !removed[x] {
+				cd[x]--
+				if cd[x] < int(c)+1 {
+					removed[x] = true
+					stack = append(stack, x)
+				}
+			}
+		})
+	}
+	for _, w := range members {
+		if !removed[w] {
+			rp.setCore(w, c+1)
+		}
+	}
+	return true
+}
+
+// setCore writes one repaired core number and records the vertex.
+func (rp *repairer) setCore(w, c int32) {
+	rp.core[w] = c
+	if !rp.changedSet[w] {
+		if rp.changedSet == nil {
+			rp.changedSet = make(map[int32]bool)
+		}
+		rp.changedSet[w] = true
+		rp.changed = append(rp.changed, w)
+	}
+}
+
+// remove repairs core numbers after removing the edge (u,v), which must
+// already be invisible in the current intermediate graph (core numbers
+// still reflect the graph with the edge). Theorem (removal): only the
+// subcore members around the smaller-core endpoint(s) can lose — each
+// by exactly one. A member drops iff peeling its subcore at threshold
+// c (neighbours with old core >= c count as support) removes it.
+func (rp *repairer) remove(u, v int32) bool {
+	c := rp.core[u]
+	if rp.core[v] < c {
+		c = rp.core[v]
+	}
+	var seeds []int32
+	if rp.core[u] == c {
+		seeds = append(seeds, u)
+	}
+	if rp.core[v] == c && v != u {
+		seeds = append(seeds, v)
+	}
+	inS := make(map[int32]bool)
+	members, ok := rp.subcore(seeds, c, inS)
+	if !ok {
+		return false
+	}
+	cd := make(map[int32]int, len(members))
+	for _, w := range members {
+		if !rp.visit() {
+			return false
+		}
+		d := 0
+		rp.eachNeighbor(w, func(x int32) {
+			if rp.core[x] >= c {
+				d++
+			}
+		})
+		cd[w] = d
+	}
+	dropped := make(map[int32]bool)
+	var stack []int32
+	for _, w := range members {
+		if cd[w] < int(c) {
+			dropped[w] = true
+			stack = append(stack, w)
+		}
+	}
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !rp.visit() {
+			return false
+		}
+		rp.eachNeighbor(w, func(x int32) {
+			if inS[x] && !dropped[x] {
+				cd[x]--
+				if cd[x] < int(c) {
+					dropped[x] = true
+					stack = append(stack, x)
+				}
+			}
+		})
+	}
+	for w := range dropped {
+		rp.setCore(w, c-1)
+	}
+	return true
+}

@@ -1,0 +1,189 @@
+package kcore
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"krcore/internal/graph"
+)
+
+// edgeSet materialises a graph from an undirected edge set.
+func buildFrom(n int, edges map[[2]int32]bool) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+func norm(u, v int32) [2]int32 {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int32{u, v}
+}
+
+func sortedPairs(m map[[2]int32]bool) [][2]int32 {
+	out := make([][2]int32, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// randomEdges draws a random graph with the given density bias.
+func randomEdges(rng *rand.Rand, n, m int) map[[2]int32]bool {
+	edges := map[[2]int32]bool{}
+	for i := 0; i < m; i++ {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		if u != v {
+			edges[norm(u, v)] = true
+		}
+	}
+	return edges
+}
+
+// TestRepairMatchesDecompose is the property test pinning Repair to
+// full peeling: across many random graphs and random effective diffs
+// (insert-heavy, remove-heavy and mixed), repairing the old core array
+// must reproduce Decompose32 of the new graph exactly.
+func TestRepairMatchesDecompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 8 + rng.Intn(60)
+		edges := randomEdges(rng, n, rng.Intn(4*n))
+		g1 := buildFrom(n, edges)
+		core := Decompose32(g1)
+
+		// Draw an effective diff: some removals of present edges, some
+		// insertions of absent pairs. Trial phase biases the mix.
+		after := map[[2]int32]bool{}
+		for e := range edges {
+			after[e] = true
+		}
+		addWant, delWant := 1+rng.Intn(4), 1+rng.Intn(4)
+		switch trial % 3 {
+		case 1: // insert-heavy
+			addWant, delWant = 1+rng.Intn(6), rng.Intn(2)
+		case 2: // remove-heavy
+			addWant, delWant = rng.Intn(2), 1+rng.Intn(6)
+		}
+		delSet := map[[2]int32]bool{}
+		for _, e := range sortedPairs(edges) {
+			if len(delSet) >= delWant {
+				break
+			}
+			if rng.Intn(3) == 0 {
+				delSet[e] = true
+				delete(after, e)
+			}
+		}
+		addSet := map[[2]int32]bool{}
+		for len(addSet) < addWant {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			p := norm(u, v)
+			if edges[p] || delSet[p] || addSet[p] {
+				continue
+			}
+			addSet[p] = true
+			after[p] = true
+		}
+		g2 := buildFrom(n, after)
+
+		got := append([]int32(nil), core...)
+		changed, visited, ok := Repair(g2, got, sortedPairs(addSet), sortedPairs(delSet), 0)
+		if !ok {
+			t.Fatalf("trial %d: unlimited budget reported exhaustion", trial)
+		}
+		want := Decompose32(g2)
+		for u := range want {
+			if got[u] != want[u] {
+				t.Fatalf("trial %d (n=%d, +%d/-%d edges, visited %d): core[%d] = %d, want %d\ngot  %v\nwant %v",
+					trial, n, len(addSet), len(delSet), visited, u, got[u], want[u], got, want)
+			}
+		}
+		// The changed list is load-bearing downstream (PatchPreparedDelta
+		// derives k-core membership changes from it instead of rescanning):
+		// it must cover every vertex whose core number differs, exactly once.
+		inChanged := map[int32]bool{}
+		for _, v := range changed {
+			if inChanged[v] {
+				t.Fatalf("trial %d: vertex %d reported changed twice", trial, v)
+			}
+			inChanged[v] = true
+		}
+		for u := range want {
+			if core[u] != want[u] && !inChanged[int32(u)] {
+				t.Fatalf("trial %d: core[%d] changed %d -> %d but was not reported",
+					trial, u, core[u], want[u])
+			}
+		}
+	}
+}
+
+// TestRepairGrownGraph covers vertex growth: the core array is extended
+// with zeros and the diff wires the new vertices in.
+func TestRepairGrownGraph(t *testing.T) {
+	edges := map[[2]int32]bool{{0, 1}: true, {1, 2}: true, {0, 2}: true}
+	g1 := buildFrom(3, edges)
+	core := Decompose32(g1)
+	core = append(core, 0, 0) // vertices 3 and 4 join
+	add := [][2]int32{{0, 3}, {1, 3}, {2, 3}, {3, 4}}
+	after := map[[2]int32]bool{}
+	for e := range edges {
+		after[e] = true
+	}
+	for _, p := range add {
+		after[p] = true
+	}
+	g2 := buildFrom(5, after)
+	if _, _, ok := Repair(g2, core, add, nil, 0); !ok {
+		t.Fatal("budget exhausted")
+	}
+	want := Decompose32(g2)
+	if fmt.Sprint(core) != fmt.Sprint(want) {
+		t.Fatalf("grown repair: got %v, want %v", core, want)
+	}
+}
+
+// TestRepairBudget pins the fallback contract: a tiny budget makes
+// Repair stop with ok=false instead of walking a large region.
+func TestRepairBudget(t *testing.T) {
+	// A long cycle is one subcore at c=2; adding a chord forces a walk
+	// around it.
+	const n = 200
+	edges := map[[2]int32]bool{}
+	for i := 0; i < n; i++ {
+		edges[norm(int32(i), int32((i+1)%n))] = true
+	}
+	g1 := buildFrom(n, edges)
+	core := Decompose32(g1)
+	add := [][2]int32{{0, 100}}
+	edges[norm(0, 100)] = true
+	g2 := buildFrom(n, edges)
+
+	got := append([]int32(nil), core...)
+	if _, visited, ok := Repair(g2, got, add, nil, 5); ok || visited < 5 {
+		t.Fatalf("budget 5: visited=%d ok=%v, want exhaustion", visited, ok)
+	}
+	got = append(got[:0], core...)
+	if _, _, ok := Repair(g2, got, add, nil, 0); !ok {
+		t.Fatal("unlimited budget must complete")
+	}
+	want := Decompose32(g2)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("after budget retry: got %v, want %v", got, want)
+	}
+}

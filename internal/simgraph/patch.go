@@ -18,8 +18,15 @@ import (
 // edge incident to one of them is re-classified under src. src must
 // answer similarity for the post-mutation attributes; the result is
 // identical to re-filtering g2 from scratch with src.
+//
+// Alongside the patched graph, PatchFiltered returns the effective
+// edge diff OF THE FILTERED GRAPH itself (normalized u < v, sorted):
+// this differs from the base-graph diff because dissimilar additions
+// never appear, and because an attribute change can flip edges whose
+// far endpoint is nowhere in the batch. Incremental core maintenance
+// consumes exactly this diff (see core.PatchPreparedDelta).
 func PatchFiltered(filtered *graph.Graph, src similarity.BulkSource, g2 *graph.Graph,
-	addPairs, delPairs [][2]int32, attrVerts []int32) *graph.Graph {
+	addPairs, delPairs [][2]int32, attrVerts []int32) (patched *graph.Graph, addF, delF [][2]int32) {
 	d := graph.NewDelta(filtered)
 	d.Grow(g2.N())
 	seen := map[[2]int32]bool{}
@@ -61,5 +68,6 @@ func PatchFiltered(filtered *graph.Graph, src similarity.BulkSource, g2 *graph.G
 			panic("simgraph: " + err.Error())
 		}
 	}
-	return filtered.Apply(d)
+	addF, delF = d.Diff()
+	return filtered.Apply(d), addF, delF
 }

@@ -95,9 +95,25 @@ func TestPatchFilteredEquivalence(t *testing.T) {
 			// A fresh index over the post-mutation attributes, as the
 			// serving layer rebuilds it when attributes changed.
 			src := simindex.New(oracle)
-			got := PatchFiltered(filtered, src, g2, add, del, attrVerts)
+			got, addF, delF := PatchFiltered(filtered, src, g2, add, del, attrVerts)
 			want := scratchFilter(g2, oracle)
 			sameGraph(t, fmt.Sprintf("trial %d batch %d", trial, batch), got, want)
+			// The reported filtered diff must be exactly the edge change
+			// between the old and new filtered graphs.
+			for _, p := range addF {
+				if filtered.HasEdge(p[0], p[1]) || !got.HasEdge(p[0], p[1]) {
+					t.Fatalf("trial %d batch %d: bogus filtered addition %v", trial, batch, p)
+				}
+			}
+			for _, p := range delF {
+				if !filtered.HasEdge(p[0], p[1]) || got.HasEdge(p[0], p[1]) {
+					t.Fatalf("trial %d batch %d: bogus filtered removal %v", trial, batch, p)
+				}
+			}
+			if got.M()-filtered.M() != len(addF)-len(delF) {
+				t.Fatalf("trial %d batch %d: filtered diff %d-%d inconsistent with M %d->%d",
+					trial, batch, len(addF), len(delF), filtered.M(), got.M())
+			}
 			g, filtered = g2, got
 		}
 	}
@@ -112,8 +128,11 @@ func TestPatchFilteredNoop(t *testing.T) {
 	g := b.Build()
 	oracle := similarity.NewOracle(similarity.Euclidean{Store: store}, 1)
 	filtered := scratchFilter(g, oracle)
-	got := PatchFiltered(filtered, simindex.New(oracle), g, nil, nil, nil)
+	got, addF, delF := PatchFiltered(filtered, simindex.New(oracle), g, nil, nil, nil)
 	if got != filtered {
 		t.Fatal("no-op patch must return the filtered graph unchanged")
+	}
+	if len(addF) != 0 || len(delF) != 0 {
+		t.Fatalf("no-op patch reported a filtered diff: +%v -%v", addF, delF)
 	}
 }

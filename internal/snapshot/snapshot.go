@@ -51,9 +51,16 @@ import (
 // accidental text-mode dumps early, PNG-style.
 var magic = [8]byte{'k', 'r', 's', 'n', 'a', 'p', 0x1a, 0}
 
-// Version is the current snapshot format version. Readers reject any
-// other version: the format evolves by bumping it, never silently.
-const Version = 1
+// Version is the current snapshot format version. Version 2 added the
+// maintained per-vertex core numbers to each prepared section and four
+// write-path counters to the dynamic section. Readers accept the
+// current version and version 1 (core numbers are recomputed by linear
+// peeling, the new counters start at zero); writers always emit the
+// current version.
+const Version = 2
+
+// versionV1 is the previous format, still readable.
+const versionV1 = 1
 
 // Section identifiers.
 const (
@@ -150,6 +157,25 @@ type DynamicState struct {
 	IndexesRebuilt    int64
 	ComponentsReused  int64
 	ComponentsRebuilt int64
+
+	// Write-path counters added by format version 2; a v1 snapshot
+	// decodes them as zero.
+	GroupCommits       int64
+	PatchesIncremental int64
+	PatchesFull        int64
+	CoreVisited        int64
+}
+
+// counters lists the dynamic counters in serialisation order for the
+// given format version: the seven v1 counters, then the four added by
+// v2.
+func (d *DynamicState) counters(ver uint32) []*int64 {
+	fields := []*int64{&d.Updates, &d.Batches, &d.Version,
+		&d.IndexesKept, &d.IndexesRebuilt, &d.ComponentsReused, &d.ComponentsRebuilt}
+	if ver >= 2 {
+		fields = append(fields, &d.GroupCommits, &d.PatchesIncremental, &d.PatchesFull, &d.CoreVisited)
+	}
+	return fields
 }
 
 // EngineState is the serialisable form of a serving engine: the
@@ -206,10 +232,17 @@ func (st *EngineState) storeN() int {
 	}
 }
 
-// Write serialises the state. Thresholds and prepared settings are
-// written in sorted order whatever order the caller supplies, keeping
-// the encoding canonical.
+// Write serialises the state at the current format version.
+// Thresholds and prepared settings are written in sorted order
+// whatever order the caller supplies, keeping the encoding canonical.
 func Write(w io.Writer, st *EngineState) error {
+	return writeVersion(w, st, Version)
+}
+
+// writeVersion serialises the state at the given format version. Only
+// the backward-compatibility tests ask for versionV1; production
+// writers always emit the current version.
+func writeVersion(w io.Writer, st *EngineState, ver uint32) error {
 	if _, err := st.Metric(); err != nil {
 		return err
 	}
@@ -223,7 +256,7 @@ func Write(w io.Writer, st *EngineState) error {
 	hdr := make([]byte, 0, 16)
 	hdr = append(hdr, magic[:]...)
 	var hb binenc.Buffer
-	hb.U32(Version)
+	hb.U32(ver)
 	hb.U8(uint8(st.Kind))
 	hb.U8(0)
 	hb.U8(0)
@@ -304,18 +337,20 @@ func Write(w io.Writer, st *EngineState) error {
 		}
 		b = binenc.Buffer{}
 		b.F64(ps.R)
-		core.AppendPrepared(&b, ps.Pr)
+		if ver >= 2 {
+			core.AppendPrepared(&b, ps.Pr)
+		} else {
+			core.AppendPreparedV1(&b, ps.Pr)
+		}
 		if err := writeSection(w, secPrepared, b.Bytes()); err != nil {
 			return err
 		}
 	}
 
 	if st.Dynamic != nil {
-		d := st.Dynamic
 		b = binenc.Buffer{}
-		for _, v := range []int64{d.Updates, d.Batches, d.Version,
-			d.IndexesKept, d.IndexesRebuilt, d.ComponentsReused, d.ComponentsRebuilt} {
-			b.U64(uint64(v))
+		for _, f := range st.Dynamic.counters(ver) {
+			b.U64(uint64(*f))
 		}
 		if err := writeSection(w, secDynamic, b.Bytes()); err != nil {
 			return err
@@ -366,8 +401,10 @@ func Read(rd io.Reader) (*EngineState, error) {
 		return nil, formatErr("header", ErrMagic, "")
 	}
 	hr := binenc.NewReader(hdr[8:])
-	if v := hr.U32(); v != Version {
-		return nil, formatErr("header", ErrVersion, "version %d, this build reads %d", v, Version)
+	ver := hr.U32()
+	if ver != Version && ver != versionV1 {
+		return nil, formatErr("header", ErrVersion, "version %d, this build reads %d and %d",
+			ver, versionV1, Version)
 	}
 	kind := attr.Kind(hr.U8())
 	if kind != attr.KindGeo && kind != attr.KindKeywords && kind != attr.KindWeighted {
@@ -428,7 +465,7 @@ func Read(rd io.Reader) (*EngineState, error) {
 			}
 			st.Thresholds = append(st.Thresholds, th)
 		case secPrepared:
-			ps, err := st.decodePrepared(r)
+			ps, err := st.decodePrepared(r, ver)
 			if err != nil {
 				return nil, formatErr(fmt.Sprintf("prepared %d", len(st.Prepared)), ErrCorrupt, "%v", err)
 			}
@@ -441,8 +478,7 @@ func Read(rd io.Reader) (*EngineState, error) {
 			st.Prepared = append(st.Prepared, ps)
 		case secDynamic:
 			var d DynamicState
-			fields := []*int64{&d.Updates, &d.Batches, &d.Version,
-				&d.IndexesKept, &d.IndexesRebuilt, &d.ComponentsReused, &d.ComponentsRebuilt}
+			fields := d.counters(ver)
 			for _, f := range fields {
 				*f = int64(r.U64())
 			}
@@ -532,8 +568,10 @@ func decodeThreshold(r *binenc.Reader, metric similarity.Metric, g *graph.Graph)
 }
 
 // decodePrepared decodes one prepared section, anchoring it to the
-// already-decoded threshold of its r (which must be fully built).
-func (st *EngineState) decodePrepared(r *binenc.Reader) (PreparedSetting, error) {
+// already-decoded threshold of its r (which must be fully built). ver
+// selects the payload flavour: v2 carries maintained core numbers, v1
+// recomputes them from the threshold's filtered graph.
+func (st *EngineState) decodePrepared(r *binenc.Reader, ver uint32) (PreparedSetting, error) {
 	rv := r.F64()
 	if err := r.Err(); err != nil {
 		return PreparedSetting{}, err
@@ -546,7 +584,7 @@ func (st *EngineState) decodePrepared(r *binenc.Reader) (PreparedSetting, error)
 	if th.Filtered == nil {
 		return PreparedSetting{}, fmt.Errorf("threshold r=%g is oracle-only, cannot anchor prepared state", rv)
 	}
-	pr, err := core.DecodePrepared(r, th.Oracle, st.Graph.N())
+	pr, err := core.DecodePrepared(r, th.Oracle, st.Graph.N(), th.Filtered, ver >= 2)
 	if err != nil {
 		return PreparedSetting{}, err
 	}

@@ -1,0 +1,293 @@
+package updates
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"krcore"
+	"krcore/internal/attr"
+	"krcore/internal/snapshot"
+)
+
+// journalMagic is the first line of every journal file. The base field
+// is the absolute journal offset (krcore.DynamicEngine.JournalOffset)
+// of the file's first operation: a compacted journal carries only the
+// tail past its companion snapshot, and base says where that tail
+// starts.
+const journalMagic = "# krcore-journal"
+
+// Journal is a durable append-only update log in the package's text
+// format, safe for concurrent appenders. It implements
+// krcore.JournalAppender: wire it with DynamicEngine.SetJournal and
+// every committed group is appended — and fsynced — as one write
+// before the engine state changes (write-ahead), so a crashed process
+// recovers by loading its last snapshot and replaying the journal tail
+// from the snapshot's offset.
+//
+// Group commit is what makes the fsync affordable: the engine appends
+// once per commit round, not once per ApplyBatch call, so N coalesced
+// writers share a single disk flush.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	kind attr.Kind
+	base int64 // absolute offset of the file's first operation
+	ops  int64 // operations currently in the file
+}
+
+// ParseKind maps an attribute-kind name (as reported by
+// krcore.DynamicEngine.AttributeKind or attr.Kind.String) back to the
+// attr.Kind an update journal needs for payload parsing.
+func ParseKind(s string) (attr.Kind, error) {
+	for _, k := range []attr.Kind{attr.KindKeywords, attr.KindWeighted, attr.KindGeo} {
+		if s == k.String() {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("updates: no journal support for attribute kind %q", s)
+}
+
+// OpenJournal opens (or creates) the journal at path for the given
+// attribute kind. Existing contents are validated and counted, so End
+// reports where the engine should be before new appends are accepted.
+func OpenJournal(path string, kind attr.Kind) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{f: f, path: path, kind: kind}
+	if err := j.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// load parses the existing file: header (when present) and operation
+// count. A fresh, empty file gets its header written immediately.
+func (j *Journal) load() error {
+	data, err := io.ReadAll(j.f)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return j.writeHeader(0)
+	}
+	base, err := parseJournalHeader(data, j.kind)
+	if err != nil {
+		return fmt.Errorf("updates: journal %s: %w", j.path, err)
+	}
+	s, err := ParseStream(bytes.NewReader(data), j.kind)
+	if err != nil {
+		return fmt.Errorf("updates: journal %s: %w", j.path, err)
+	}
+	j.base = base
+	j.ops = int64(len(s.Ups))
+	return nil
+}
+
+// writeHeader writes a fresh header line for an empty file.
+func (j *Journal) writeHeader(base int64) error {
+	_, err := fmt.Fprintf(j.f, "%s kind=%s base=%d\n", journalMagic, j.kind, base)
+	if err != nil {
+		return err
+	}
+	j.base, j.ops = base, 0
+	return j.f.Sync()
+}
+
+// parseJournalHeader validates the first line and returns the base
+// offset. Header-less files (hand-written streams) get base 0.
+func parseJournalHeader(data []byte, kind attr.Kind) (int64, error) {
+	line := data
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		line = data[:i]
+	}
+	if !bytes.HasPrefix(line, []byte(journalMagic)) {
+		return 0, nil
+	}
+	base := int64(0)
+	for _, f := range strings.Fields(string(line))[2:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			continue
+		}
+		switch k {
+		case "kind":
+			if v != kind.String() {
+				return 0, fmt.Errorf("journal holds %s updates, engine expects %s", v, kind)
+			}
+		case "base":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n < 0 {
+				return 0, fmt.Errorf("bad base %q in journal header", v)
+			}
+			base = n
+		}
+	}
+	return base, nil
+}
+
+// AppendBatch appends one committed operation group as a single write
+// followed by one fsync. The engine calls it once per commit round,
+// before any in-memory state changes; an error fails the whole round
+// with the engine untouched.
+func (j *Journal) AppendBatch(batch []krcore.Update) error {
+	var buf bytes.Buffer
+	if err := Write(&buf, batch, j.kind); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.ops += int64(len(batch))
+	return nil
+}
+
+// Base returns the absolute journal offset of the file's first
+// operation (0 for a never-compacted journal).
+func (j *Journal) Base() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.base
+}
+
+// TailOps returns the number of operations currently in the file — the
+// replay cost of the next crash recovery, and the number compaction
+// guidance should watch.
+func (j *Journal) TailOps() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.ops
+}
+
+// End returns Base()+TailOps(): the absolute journal offset one past
+// the last logged operation.
+func (j *Journal) End() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.base + j.ops
+}
+
+// Tail re-reads the journal and returns its operations with their base
+// offset — the crash-recovery read path. Call before wiring the
+// journal to an engine; replay Ups[snapOffset-base:] (see
+// Stream.ReplayStreamFrom) to bring a snapshot-loaded engine current.
+func (j *Journal) Tail() (*Stream, int64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	defer j.f.Seek(0, io.SeekEnd)
+	s, err := ParseStream(j.f, j.kind)
+	if err != nil {
+		return nil, 0, fmt.Errorf("updates: journal %s: %w", j.path, err)
+	}
+	return s, j.base, nil
+}
+
+// CompactTo drops every operation before the absolute offset newBase,
+// rewriting the file atomically (temp file + fsync + rename) so a
+// crash mid-compaction leaves the previous journal intact. Operations
+// at or past newBase are preserved: concurrent appends are safe — they
+// serialise against the rewrite and land in the new file.
+func (j *Journal) CompactTo(newBase int64) (dropped int64, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if newBase < j.base {
+		return 0, fmt.Errorf("updates: compact to offset %d below journal base %d", newBase, j.base)
+	}
+	if newBase > j.base+j.ops {
+		return 0, fmt.Errorf("updates: compact to offset %d past journal end %d", newBase, j.base+j.ops)
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	s, err := ParseStream(j.f, j.kind)
+	if err != nil {
+		return 0, fmt.Errorf("updates: journal %s: %w", j.path, err)
+	}
+	keep := s.Ups[newBase-j.base:]
+
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(j.path)+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := fmt.Fprintf(tmp, "%s kind=%s base=%d\n", journalMagic, j.kind, newBase); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := Write(tmp, keep, j.kind); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return 0, err
+	}
+	nf, err := os.OpenFile(j.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("updates: journal compacted but reopen failed: %w", err)
+	}
+	j.f.Close()
+	j.f = nf
+	dropped = newBase - j.base
+	j.base, j.ops = newBase, int64(len(keep))
+	return dropped, nil
+}
+
+// Close releases the journal's file handle. Appends after Close fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// Compact checkpoints the engine and shortens the journal: it writes
+// the engine's snapshot to snapPath atomically, then drops every
+// journal operation the snapshot already contains, leaving only the
+// short tail of operations still in flight when the snapshot was
+// captured. Replay cost after a crash stops growing with total update
+// volume and becomes proportional to the update rate × checkpoint
+// interval.
+//
+// The journal is write-ahead of the engine, so the tail kept is always
+// a superset of what the snapshot lacks. The overlap is harmless:
+// recovery replays from the snapshot's own JournalOffset, not from the
+// journal's base, so operations the snapshot already contains are
+// skipped, never re-applied.
+func Compact(eng *krcore.DynamicEngine, j *Journal, snapPath string) (dropped int64, err error) {
+	// Capture the committed offset BEFORE the snapshot: the snapshot may
+	// include later commits, and keeping a slightly longer tail is safe
+	// while dropping operations the snapshot lacks would lose data.
+	offset := eng.JournalOffset()
+	if _, err := snapshot.WriteFileAtomic(snapPath, eng.SaveSnapshot); err != nil {
+		return 0, err
+	}
+	return j.CompactTo(offset)
+}

@@ -1,0 +1,179 @@
+package updates
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"krcore"
+	"krcore/internal/attr"
+)
+
+// journalEngine builds a small dynamic engine plus a journal wired to
+// it, in a temp dir.
+func journalEngine(t *testing.T) (*krcore.DynamicEngine, *Journal, string) {
+	t.Helper()
+	d := smallDataset(t, attr.KindGeo)
+	attrs, err := Attrs(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := krcore.NewDynamicEngine(d.Graph, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "updates.journal")
+	j, err := OpenJournal(path, attr.KindGeo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	eng.SetJournal(j)
+	return eng, j, dir
+}
+
+// TestJournalWriteAheadAndRecovery drives updates through a journaled
+// engine, then recovers a second engine from journal replay alone and
+// checks the graphs agree.
+func TestJournalWriteAheadAndRecovery(t *testing.T) {
+	eng, j, _ := journalEngine(t)
+	d := smallDataset(t, attr.KindGeo)
+	ups := Random(d, 40, 3)
+	committed, err := Replay(eng, ups, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed != 10 {
+		t.Fatalf("committed %d batches, want 10", committed)
+	}
+	if j.End() != eng.JournalOffset() {
+		t.Fatalf("journal end %d != engine offset %d", j.End(), eng.JournalOffset())
+	}
+	if j.Base() != 0 {
+		t.Fatalf("fresh journal base = %d", j.Base())
+	}
+
+	// Recovery: fresh engine over the original dataset + full replay.
+	attrs2, err := Attrs(smallDataset(t, attr.KindGeo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := krcore.NewDynamicEngine(smallDataset(t, attr.KindGeo).Graph, attrs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, base, err := j.Tail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 0 {
+		t.Fatalf("tail base = %d", base)
+	}
+	if _, err := tail.ReplayStreamFrom(rec, rec.JournalOffset(), 8); err != nil {
+		t.Fatal(err)
+	}
+	if rec.N() != eng.N() || rec.M() != eng.M() {
+		t.Fatalf("recovered N=%d M=%d, want N=%d M=%d", rec.N(), rec.M(), eng.N(), eng.M())
+	}
+}
+
+// TestJournalReopenCounts closes and reopens a journal and checks the
+// parsed base/ops survive, including after compaction.
+func TestJournalReopenCounts(t *testing.T) {
+	eng, j, dir := journalEngine(t)
+	d := smallDataset(t, attr.KindGeo)
+	ups := Random(d, 30, 9)
+	if _, err := Replay(eng, ups, 3); err != nil {
+		t.Fatal(err)
+	}
+	end := j.End()
+
+	snapPath := filepath.Join(dir, "checkpoint.snap")
+	dropped, err := Compact(eng, j, snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != end {
+		t.Fatalf("compaction dropped %d ops, want all %d (no concurrent writers)", dropped, end)
+	}
+	if j.Base() != end || j.TailOps() != 0 {
+		t.Fatalf("post-compaction base=%d tail=%d, want base=%d tail=0", j.Base(), j.TailOps(), end)
+	}
+
+	// More traffic after compaction lands in the tail.
+	if _, err := Replay(eng, Random(d, 10, 11), 5); err != nil {
+		t.Fatal(err)
+	}
+	if j.TailOps() != 10 {
+		t.Fatalf("tail ops = %d, want 10", j.TailOps())
+	}
+
+	// Reopen: header base and tail count must be parsed back.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(filepath.Join(dir, "updates.journal"), attr.KindGeo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Base() != end || j2.TailOps() != 10 {
+		t.Fatalf("reopened base=%d tail=%d, want base=%d tail=10", j2.Base(), j2.TailOps(), end)
+	}
+
+	// Crash recovery from snapshot + short tail: the replayed engine
+	// must land exactly where the journaled engine is.
+	f, err := os.Open(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rec, err := krcore.LoadDynamicEngine(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, base, err := j2.Tail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tail.ReplayStreamFrom(rec, rec.JournalOffset()-base, 5); err != nil {
+		t.Fatal(err)
+	}
+	if rec.N() != eng.N() || rec.M() != eng.M() || rec.JournalOffset() != eng.JournalOffset() {
+		t.Fatalf("recovered N=%d M=%d off=%d, want N=%d M=%d off=%d",
+			rec.N(), rec.M(), rec.JournalOffset(), eng.N(), eng.M(), eng.JournalOffset())
+	}
+}
+
+// TestJournalKindMismatch rejects opening a journal with the wrong
+// attribute kind.
+func TestJournalKindMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j")
+	j, err := OpenJournal(path, attr.KindGeo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, err := OpenJournal(path, attr.KindKeywords); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+}
+
+// TestJournalCompactBounds rejects compaction offsets outside the
+// journal's range.
+func TestJournalCompactBounds(t *testing.T) {
+	eng, j, _ := journalEngine(t)
+	if err := eng.AddEdge(0, 1); err != nil {
+		if err := eng.RemoveEdge(0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := j.CompactTo(-1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := j.CompactTo(j.End() + 1); err == nil {
+		t.Fatal("offset past end accepted")
+	}
+}

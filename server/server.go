@@ -19,7 +19,6 @@ import (
 	"io"
 	"math"
 	"net/http"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -72,6 +71,10 @@ type Config struct {
 	MaxNodes int64
 	// MaxParallelism clamps per-request worker counts. Default 8.
 	MaxParallelism int
+
+	// JournalLen, when set, reports the operation count of the daemon's
+	// update journal tail for PathStats (see cmd/krcored -journal).
+	JournalLen func() int64
 }
 
 func (c Config) withDefaults() Config {
@@ -108,12 +111,6 @@ type Server struct {
 	waiters  atomic.Int64
 	inFlight atomic.Int64
 	peak     atomic.Int64
-
-	// updateMu serialises commit + ack-snapshot, so each update
-	// response reports the version and graph size its own batch
-	// produced (ApplyBatch alone is atomic, but a concurrent batch
-	// could land between the commit and reading Version/N/M).
-	updateMu sync.Mutex
 
 	queries  atomic.Int64
 	rejected atomic.Int64
@@ -258,13 +255,20 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if s.updater != nil {
 		ds := s.updater.DynamicStats()
 		resp.DynamicEngine = &api.DynamicStats{
-			Updates:           ds.Updates,
-			Batches:           ds.Batches,
-			Version:           ds.Version,
-			IndexesKept:       ds.IndexesKept,
-			IndexesRebuilt:    ds.IndexesRebuilt,
-			ComponentsReused:  ds.ComponentsReused,
-			ComponentsRebuilt: ds.ComponentsRebuilt,
+			Updates:            ds.Updates,
+			Batches:            ds.Batches,
+			GroupCommits:       ds.GroupCommits,
+			Version:            ds.Version,
+			IndexesKept:        ds.IndexesKept,
+			IndexesRebuilt:     ds.IndexesRebuilt,
+			ComponentsReused:   ds.ComponentsReused,
+			ComponentsRebuilt:  ds.ComponentsRebuilt,
+			PatchesIncremental: ds.PatchesIncremental,
+			PatchesFull:        ds.PatchesFull,
+			CoreVisited:        ds.CoreVisited,
+		}
+		if s.cfg.JournalLen != nil {
+			resp.DynamicEngine.JournalOps = s.cfg.JournalLen()
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -442,18 +446,19 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		batch = append(batch, up)
 	}
 	// Mutations go through admission control too: an update storm must
-	// be sheddable with 429 like any other load — each commit holds the
-	// engine's write lock and rebuilds invalidated state, so unbounded
-	// concurrent updates would starve query traffic with no backpressure.
+	// be sheddable with 429 like any other load. Admitted batches run
+	// concurrently on purpose — the engine's group commit coalesces
+	// simultaneous ApplyBatch calls into one commit round, so the
+	// server must not serialise them. The acked Version is therefore
+	// the engine version at ack time: it includes this batch's effects,
+	// but concurrent batches may share it or have advanced it.
 	if !s.admit(w, r) {
 		return
 	}
 	defer s.release()
-	s.updateMu.Lock()
 	err := s.updater.ApplyBatch(batch)
 	version := s.updater.DynamicStats().Version
 	g := s.backend.Graph()
-	s.updateMu.Unlock()
 	if err != nil {
 		var be *krcore.BatchError
 		if errors.As(err, &be) {
