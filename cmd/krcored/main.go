@@ -232,7 +232,9 @@ serve:
 	if err := emit(stdout, "shutting down: draining in-flight queries\n"); err != nil {
 		return err
 	}
-	sctx, cancel := context.WithTimeout(context.Background(), *grace)
+	// The drain must outlive ctx (already cancelled — that is why we are
+	// here), so detach explicitly instead of minting a fresh root.
+	sctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), *grace)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)

@@ -1,0 +1,126 @@
+// Command krlint runs the repo's invariant analyzers (internal/lint)
+// over package patterns, printing findings in the familiar
+// file:line:col compiler shape.
+//
+// Usage:
+//
+//	krlint [flags] [patterns]
+//
+// Patterns follow the go tool: "./..." (the default) walks every
+// package under the current module, "./server" names one package.
+//
+// Flags:
+//
+//	-only lockheld,decodebound   run a subset of the suite
+//	-list                        print the analyzers and exit
+//	-json                        emit findings as a JSON array
+//	-C dir                       analyze the module rooted at dir
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load errors. The
+// analyzers, the invariants they encode and the suppression escapes
+// are documented in internal/lint.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"krcore/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("krlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit findings as JSON")
+	dir := fs.String("C", ".", "analyze the module rooted at this directory")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: krlint [flags] [patterns]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var picked []*lint.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "krlint: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+			picked = append(picked, a)
+		}
+		analyzers = picked
+	}
+
+	loader, err := lint.NewLoader(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "krlint: %v\n", err)
+		return 2
+	}
+	dirs, err := loader.Expand(fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "krlint: %v\n", err)
+		return 2
+	}
+
+	var all []lint.Diagnostic
+	for _, rel := range dirs {
+		pkg, err := loader.LoadDir(rel)
+		if err != nil {
+			fmt.Fprintf(stderr, "krlint: %v\n", err)
+			return 2
+		}
+		diags, err := lint.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(stderr, "krlint: %v\n", err)
+			return 2
+		}
+		all = append(all, diags...)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintf(stderr, "krlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range all {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(all) > 0 {
+		if !*asJSON {
+			fmt.Fprintf(stderr, "krlint: %d finding(s)\n", len(all))
+		}
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"krcore/internal/lint"
+)
+
+const badmod = "testdata/badmod"
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestListPrintsSuite(t *testing.T) {
+	code, out, _ := runCmd(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit = %d, want 0", code)
+	}
+	for _, a := range lint.Analyzers() {
+		if !strings.Contains(out, a.Name) || !strings.Contains(out, a.Doc) {
+			t.Errorf("-list output missing %s", a.Name)
+		}
+	}
+}
+
+func TestFindingsExitNonZero(t *testing.T) {
+	code, out, stderr := runCmd(t, "-C", badmod, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 on a tree with violations (stderr: %s)", code, stderr)
+	}
+	for _, want := range []string{
+		"sentinel ErrBad formatted with %v",
+		"(wrapsentinel)",
+		"Background() with a caller context in scope",
+		"(ctxbackground)",
+		filepath.Join("testdata", "badmod", "bad.go"),
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(stderr, "2 finding(s)") {
+		t.Errorf("stderr missing the finding count: %s", stderr)
+	}
+}
+
+func TestOnlyFilters(t *testing.T) {
+	// Restricting to an analyzer the fixture does not violate must exit
+	// clean: the subset really is the only thing run.
+	code, out, stderr := runCmd(t, "-only", "lockheld,atomicfield,decodebound", "-C", badmod, "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (out: %s stderr: %s)", code, out, stderr)
+	}
+	code, out, _ = runCmd(t, "-only", "wrapsentinel", "-C", badmod, "./...")
+	if code != 1 || strings.Contains(out, "ctxbackground") {
+		t.Fatalf("-only wrapsentinel: exit=%d out=%s", code, out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, out, _ := runCmd(t, "-json", "-C", badmod, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("-json output is not a diagnostic array: %v\n%s", err, out)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(diags), diags)
+	}
+	code, out, _ = runCmd(t, "-json", "-C", badmod, "-only", "lockheld", "./...")
+	if code != 0 || strings.TrimSpace(out) != "[]" {
+		t.Fatalf("clean -json run: exit=%d out=%q, want empty array", code, out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCmd(t, "-nonsense"); code != 2 {
+		t.Fatalf("bad flag exit = %d, want 2", code)
+	}
+	if code, _, stderr := runCmd(t, "-only", "nope"); code != 2 || !strings.Contains(stderr, "unknown analyzer") {
+		t.Fatalf("unknown analyzer: exit=%d stderr=%s", code, stderr)
+	}
+	if code, _, _ := runCmd(t, "-C", badmod, "./does-not-exist"); code != 2 {
+		t.Fatalf("bad pattern exit = %d, want 2", code)
+	}
+	if code, _, _ := runCmd(t, "-C", "testdata/definitely-missing", "./..."); code != 2 {
+		t.Fatalf("bad -C exit = %d, want 2", code)
+	}
+}
+
+// TestRepoClean runs the full suite over the real module — the
+// PR-level regression: reintroducing any violation krlint fixed
+// (snapshot I/O under the serving lock, context.Background in the
+// daemon's shutdown path, a plainly-read atomic counter) fails this
+// test, and it is the same invocation the CI lint job performs.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	code, out, stderr := runCmd(t, "-C", "../..", "./...")
+	if code != 0 {
+		t.Fatalf("krlint ./... on the repo: exit=%d\nfindings:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+}

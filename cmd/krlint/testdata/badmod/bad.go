@@ -1,0 +1,24 @@
+// Package badmod is a krlint driver fixture: a module that violates
+// two analyzers (wrapsentinel, ctxbackground), so driver tests can
+// assert the non-zero exit, the finding output, and -only filtering.
+package badmod
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrBad is a sentinel callers match with errors.Is.
+var ErrBad = errors.New("bad")
+
+// Flatten breaks the sentinel contract: %v instead of %w.
+func Flatten() error {
+	return fmt.Errorf("op: %v", ErrBad)
+}
+
+// Sever drops the caller's context.
+func Sever(ctx context.Context) error {
+	<-context.Background().Done()
+	return nil
+}

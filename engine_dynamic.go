@@ -169,7 +169,9 @@ type DynamicEngine struct {
 	stats DynamicStats
 
 	// commitMu serialises commit rounds; the holder is the round's
-	// leader. journal is guarded by it.
+	// leader. journal is guarded by it, and the leader's journal append
+	// (one fsync per group commit) deliberately runs under it — that
+	// ordering is the durability contract. krlint:iolock
 	commitMu sync.Mutex
 	journal  JournalAppender
 

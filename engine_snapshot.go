@@ -51,16 +51,39 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 // Engine.SaveSnapshot captures plus the update journal position
 // (JournalOffset) and maintenance counters, so a crashed process
 // recovers by loading the snapshot and replaying its update journal
-// from that offset (see updates.Stream.ReplayStreamFrom). The call
-// runs under the engine's read lock: it captures a consistent
-// committed snapshot and concurrent queries keep running, while
-// mutations wait.
+// from that offset (see updates.Stream.ReplayStreamFrom). Only the
+// capture runs under the engine's read lock — the attribute store (the
+// one piece of captured state mutations modify in place) is cloned
+// before the lock is released, and the snapshot encoding streams to w
+// with no lock held, so neither queries nor mutations wait for the
+// write I/O.
 func (d *DynamicEngine) SaveSnapshot(w io.Writer) error {
+	st, err := d.snapshotLocked()
+	if err != nil {
+		return err
+	}
+	return snapshot.Write(w, st)
+}
+
+// snapshotLocked captures a consistent serialisable state under the
+// read lock. Everything captured is immutable-after-publication
+// (patched CSR graphs, built oracles, prepared components) except the
+// attribute store, which SetAttributes/AddVertex mutate in place — it
+// is deep-cloned here so the caller can encode after unlock.
+func (d *DynamicEngine) snapshotLocked() (*snapshot.EngineState, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	st, err := d.eng.snapshotState()
 	if err != nil {
-		return err
+		return nil, err
+	}
+	switch {
+	case st.Geo != nil:
+		st.Geo = st.Geo.Clone()
+	case st.Keywords != nil:
+		st.Keywords = st.Keywords.Clone()
+	case st.Weighted != nil:
+		st.Weighted = st.Weighted.Clone()
 	}
 	st.Dynamic = &snapshot.DynamicState{
 		Updates:            d.stats.Updates,
@@ -75,7 +98,7 @@ func (d *DynamicEngine) SaveSnapshot(w io.Writer) error {
 		PatchesFull:        d.stats.PatchesFull,
 		CoreVisited:        d.stats.CoreVisited,
 	}
-	return snapshot.Write(w, st)
+	return st, nil
 }
 
 // LoadDynamicEngine reconstructs a mutable serving engine from a

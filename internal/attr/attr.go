@@ -298,3 +298,30 @@ func (s *Geo) Distance2(u, v int32) float64 {
 	dy := s.pts[u].Y - s.pts[v].Y
 	return dx*dx + dy*dy
 }
+
+// Clone returns a deep copy of the store sharing no backing storage,
+// so a caller can keep reading a consistent state (a snapshot encoder
+// writing outside the serving lock) while the original resumes
+// mutating.
+func (s *Keywords) Clone() *Keywords {
+	return &Keywords{
+		keys:  append([]int32(nil), s.keys...),
+		spans: append([]span(nil), s.spans...),
+	}
+}
+
+// Clone returns a deep copy of the store sharing no backing storage.
+// See Keywords.Clone.
+func (s *Weighted) Clone() *Weighted {
+	return &Weighted{
+		keys:    append([]int32(nil), s.keys...),
+		weights: append([]float64(nil), s.weights...),
+		spans:   append([]span(nil), s.spans...),
+	}
+}
+
+// Clone returns a deep copy of the store sharing no backing storage.
+// See Keywords.Clone.
+func (s *Geo) Clone() *Geo {
+	return &Geo{pts: append([]Point(nil), s.pts...)}
+}

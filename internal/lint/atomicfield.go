@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField flags struct fields that are accessed through sync/atomic
+// in one place and read or written plainly in another. A field touched
+// by atomic.AddInt64 in the hot path and `x.n++` in a cleanup path has
+// a data race the race detector only catches when both paths collide
+// under test; mixing the two access modes is never intentional in this
+// codebase — the counter discipline since PR 2/4 is typed atomics or
+// sync/atomic everywhere. The typed atomic.Int64/Bool/... types are
+// immune by construction (no plain access compiles) and are the
+// preferred fix.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "a struct field accessed via sync/atomic must never be read or written plainly",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	// Pass 1: fields reached through sync/atomic calls, and the selector
+	// nodes inside those calls (which are the sanctioned accesses).
+	atomicFields := map[types.Object]string{} // field -> first atomic call key
+	sanctioned := map[token.Pos]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := calleeFunc(pass.TypesInfo, call)
+			if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				selection, ok := pass.TypesInfo.Selections[sel]
+				if !ok || selection.Kind() != types.FieldVal {
+					continue
+				}
+				obj := selection.Obj()
+				if _, seen := atomicFields[obj]; !seen {
+					atomicFields[obj] = funcKey(f)
+				}
+				sanctioned[sel.Sel.Pos()] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: every other access to those fields is a race.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := pass.TypesInfo.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			key, isAtomic := atomicFields[selection.Obj()]
+			if !isAtomic || sanctioned[sel.Sel.Pos()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "plain access to %s, which is accessed atomically (%s) elsewhere; use sync/atomic everywhere or a typed atomic.Int64",
+				exprString(sel), key)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxBackground flags context.Background() and context.TODO() in
+// library code that already has a caller's context (or a Limits, which
+// carries one) in scope. Minting a fresh root context there severs the
+// caller's deadline and cancellation — a request that should have been
+// abandoned keeps burning a search budget, the bug class PR 4's
+// request-deadline plumbing exists to prevent. Detached-but-valued
+// work (a shutdown drain that must outlive the cancelled request
+// context) should derive with context.WithoutCancel(ctx) instead, so
+// the provenance stays explicit. Test files are exempt: tests are the
+// legitimate root of their own context trees.
+var CtxBackground = &Analyzer{
+	Name: "ctxbackground",
+	Doc:  "no context.Background()/TODO() where a caller context or Limits is in scope (derive from it)",
+	Run:  runCtxBackground,
+}
+
+func runCtxBackground(pass *Pass) error {
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxFunc(pass, fd.Body, ctxParams(pass, fd.Type))
+		}
+	}
+	return nil
+}
+
+// ctxParams reports whether the function signature binds a
+// context.Context or a Limits-typed parameter.
+func ctxParams(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, f := range ft.Params.List {
+		t := pass.TypesInfo.TypeOf(f.Type)
+		if t == nil {
+			continue
+		}
+		if isNamed(t, "context", "Context") {
+			return true
+		}
+		// Limits carries the caller's deadline/budget; any type of that
+		// name counts so engine and fixture packages alike are covered.
+		if _, name, ok := namedName(t); ok && name == "Limits" {
+			return true
+		}
+		if hasCtxField(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasCtxField reports whether a struct parameter embeds a
+// context.Context field (an options struct that carries the caller's
+// context).
+func hasCtxField(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isNamed(st.Field(i).Type(), "context", "Context") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCtxFunc walks one function body. inScope carries whether the
+// enclosing declaration chain binds a caller context; closures inherit
+// it (a FuncLit inside a ctx-taking function still has ctx in scope).
+func checkCtxFunc(pass *Pass, body *ast.BlockStmt, inScope bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.FuncLit:
+			checkCtxFunc(pass, nn.Body, inScope || ctxParams(pass, nn.Type))
+			return false
+		case *ast.CallExpr:
+			if !inScope {
+				return true
+			}
+			f := calleeFunc(pass.TypesInfo, nn)
+			if f == nil {
+				return true
+			}
+			switch funcKey(f) {
+			case "context.Background", "context.TODO":
+				pass.Reportf(nn.Pos(), "%s() with a caller context in scope; derive from it (context.WithoutCancel(ctx) if it must outlive cancellation)", f.Name())
+			}
+		}
+		return true
+	})
+}

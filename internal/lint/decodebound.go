@@ -1,0 +1,302 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DecodeBound flags wire-decoded lengths that reach an allocation
+// before any bounds check. A count read from snapshot bytes and passed
+// straight to make() lets a 5-byte corrupt file demand gigabytes — the
+// allocation-bomb class PR 5's decode contract closed by routing every
+// count through binenc.Reader.Count (which validates against the bytes
+// actually remaining). The analyzer taints integer values produced by
+// decode primitives — Reader methods U8/U16/U32/U64/Uvarint and
+// encoding/binary's byte-order Uint decoders — and reports a tainted
+// value used as a make() size or as the bound of an append-growing
+// loop without an intervening comparison. Reader.Count and any
+// explicit comparison cleanse the value.
+var DecodeBound = &Analyzer{
+	Name: "decodebound",
+	Doc:  "a length decoded from wire bytes must pass a bounds check before make/append growth",
+	Run:  runDecodeBound,
+}
+
+// decodeTaintMethods are Reader decode primitives whose results carry
+// attacker-controlled magnitudes. Recognition is structural (method
+// name on a type named Reader) so the check covers binenc.Reader and
+// test fixtures alike.
+var decodeTaintMethods = map[string]bool{
+	"U8": true, "U16": true, "U32": true, "U64": true, "Uvarint": true,
+}
+
+func runDecodeBound(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			db := &boundChecker{
+				pass:    pass,
+				tainted: map[types.Object]bool{},
+			}
+			db.stmts(fd.Body.List)
+		}
+	}
+	return nil
+}
+
+type boundChecker struct {
+	pass    *Pass
+	tainted map[types.Object]bool
+}
+
+// stmts walks a statement list in source order, so a cleansing
+// comparison only protects uses after it.
+func (db *boundChecker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		db.stmt(s)
+	}
+}
+
+func (db *boundChecker) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		db.check(st)
+		for i, rhs := range st.Rhs {
+			if i < len(st.Lhs) {
+				db.assign(st.Lhs[i], rhs)
+			}
+		}
+		// Multi-value form: n, err := r.Uvarint() style single-call RHS.
+		if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+			if db.taintSource(st.Rhs[0]) {
+				db.taint(st.Lhs[0])
+			}
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			db.stmt(st.Init)
+		}
+		// A tainted loop bound that drives append growth is the flagged
+		// pattern; the condition's own comparison does not cleanse it
+		// for this loop (that comparison IS the unchecked use).
+		if st.Cond != nil {
+			if obj, name := db.taintedOperand(st.Cond); obj != nil && bodyAppends(st.Body) {
+				db.pass.Reportf(st.Cond.Pos(), "loop bound %s comes from wire bytes without a bounds check and the loop grows a slice; validate it (e.g. Reader.Count) first", name)
+			}
+			db.cleanseComparisons(st.Cond)
+		}
+		db.stmts(st.Body.List)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			db.stmt(st.Init)
+		}
+		db.check(&ast.ExprStmt{X: st.Cond})
+		db.cleanseComparisons(st.Cond)
+		db.stmts(st.Body.List)
+		if st.Else != nil {
+			db.stmt(st.Else)
+		}
+	case *ast.BlockStmt:
+		db.stmts(st.List)
+	case *ast.RangeStmt:
+		db.check(&ast.ExprStmt{X: st.X})
+		db.stmts(st.Body.List)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			db.stmt(st.Init)
+		}
+		if st.Tag != nil {
+			db.cleanseComparisons(st.Tag)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				db.stmts(cc.Body)
+			}
+		}
+	default:
+		db.check(s)
+	}
+}
+
+// assign propagates taint through one lhs = rhs pair.
+func (db *boundChecker) assign(lhs, rhs ast.Expr) {
+	if db.taintSource(rhs) || db.taintedExpr(rhs) != nil {
+		db.taint(lhs)
+		return
+	}
+	// Reassignment from a clean source cleanses.
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		if obj := db.ident(id); obj != nil {
+			delete(db.tainted, obj)
+		}
+	}
+}
+
+func (db *boundChecker) taint(lhs ast.Expr) {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+		if obj := db.ident(id); obj != nil {
+			db.tainted[obj] = true
+		}
+	}
+}
+
+func (db *boundChecker) ident(id *ast.Ident) types.Object {
+	if obj := db.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return db.pass.TypesInfo.Uses[id]
+}
+
+// taintSource reports whether e is a direct decode-primitive call.
+func (db *boundChecker) taintSource(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		// A conversion like int(r.U32()) keeps the taint.
+		return false
+	}
+	// Conversions: int(r.U32()).
+	if len(call.Args) == 1 {
+		if _, isConv := db.pass.TypesInfo.Types[call.Fun]; isConv && db.pass.TypesInfo.Types[call.Fun].IsType() {
+			return db.taintSource(call.Args[0])
+		}
+	}
+	f := calleeFunc(db.pass.TypesInfo, call)
+	if f == nil {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, recvName, ok := namedName(sig.Recv().Type())
+	if !ok {
+		return false
+	}
+	if recvName == "Reader" && decodeTaintMethods[f.Name()] {
+		return true
+	}
+	// encoding/binary.LittleEndian.Uint32 and friends.
+	if f.Pkg() != nil && f.Pkg().Path() == "encoding/binary" && strings.HasPrefix(f.Name(), "Uint") {
+		return true
+	}
+	return false
+}
+
+// taintedExpr returns the object of a tainted identifier appearing in
+// e (outside nested function literals), or nil.
+func (db *boundChecker) taintedExpr(e ast.Expr) types.Object {
+	var found types.Object
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := db.ident(id); obj != nil && db.tainted[obj] {
+				found = obj
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// taintedOperand finds a tainted identifier in a loop condition.
+func (db *boundChecker) taintedOperand(cond ast.Expr) (types.Object, string) {
+	var obj types.Object
+	var name string
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if obj != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if o := db.ident(id); o != nil && db.tainted[o] {
+				obj, name = o, id.Name
+			}
+		}
+		return true
+	})
+	return obj, name
+}
+
+// cleanseComparisons clears taint from identifiers that participate in
+// a comparison: once code has compared the value against anything, it
+// has had its chance to reject it, and the analyzer trusts the
+// surrounding logic.
+func (db *boundChecker) cleanseComparisons(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+			for _, side := range []ast.Expr{be.X, be.Y} {
+				ast.Inspect(side, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						if obj := db.ident(id); obj != nil {
+							delete(db.tainted, obj)
+						}
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+}
+
+// check scans one statement for tainted allocation sizes.
+func (db *boundChecker) check(s ast.Stmt) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return true
+		}
+		if _, isBuiltin := db.pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		// make(T, len) and make(T, len, cap): args after the type.
+		for _, arg := range call.Args[1:] {
+			if db.taintSource(arg) {
+				db.pass.Reportf(arg.Pos(), "make size comes straight from wire bytes without a bounds check; validate it (e.g. Reader.Count) first")
+				continue
+			}
+			if obj := db.taintedExpr(arg); obj != nil {
+				db.pass.Reportf(arg.Pos(), "make size %s comes from wire bytes without a bounds check; validate it (e.g. Reader.Count) first", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// bodyAppends reports whether the loop body grows a slice with append.
+func bodyAppends(body *ast.BlockStmt) bool {
+	grows := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if grows {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+			grows = true
+			return false
+		}
+		return true
+	})
+	return grows
+}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// runFixture loads testdata/src/<rel> GOPATH-style, runs the analyzers
+// over it and checks the findings against `// want "regex"` comments —
+// the x/tools analysistest convention: each expectation sits on the
+// line it expects a diagnostic on, multiple quoted regexps mean
+// multiple diagnostics on that line, and both unmatched findings and
+// unmet expectations fail the test.
+func runFixture(t *testing.T, rel string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	loader, err := NewLoader(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.LoadDir(rel)
+	if err != nil {
+		t.Fatalf("load %s: %v", rel, err)
+	}
+	diags, err := Run(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("run %s: %v", rel, err)
+	}
+	checkWants(t, pkg, diags)
+	return diags
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// checkWants compares diagnostics against the fixture's want comments.
+func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	wants := map[wantKey][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, ok := parseWant(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := wantKey{pos.Filename, pos.Line}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		k := wantKey{d.Pos.Filename, d.Pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re != nil && re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		wants[k][matched] = nil
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+// parseWant extracts the quoted regexps of one want comment.
+func parseWant(comment string) ([]string, bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	rest, ok := strings.CutPrefix(text, "want ")
+	if !ok {
+		return nil, false
+	}
+	var patterns []string
+	for {
+		rest = strings.TrimSpace(rest)
+		if len(rest) == 0 || (rest[0] != '"' && rest[0] != '`') {
+			break
+		}
+		quote := rest[0]
+		end := strings.IndexByte(rest[1:], quote)
+		if end < 0 {
+			break
+		}
+		patterns = append(patterns, rest[1:1+end])
+		rest = rest[end+2:]
+	}
+	if len(patterns) == 0 {
+		return nil, false
+	}
+	return patterns, true
+}
+
+// diagStrings renders findings for failure messages.
+func diagStrings(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}

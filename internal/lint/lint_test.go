@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLockHeld(t *testing.T) {
+	runFixture(t, "lockheld", LockHeld)
+}
+
+func TestAtomicField(t *testing.T) {
+	runFixture(t, "atomicfield", AtomicField)
+}
+
+func TestDecodeBound(t *testing.T) {
+	runFixture(t, "decodebound", DecodeBound)
+}
+
+func TestCtxBackground(t *testing.T) {
+	runFixture(t, "ctxbackground", CtxBackground)
+}
+
+func TestWrapSentinel(t *testing.T) {
+	runFixture(t, "wrapsentinel", WrapSentinel)
+}
+
+func TestAnalyzersStableOrder(t *testing.T) {
+	names := []string{}
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Fatalf("analyzer %+v incomplete", a)
+		}
+		names = append(names, a.Name)
+	}
+	want := "lockheld,atomicfield,decodebound,ctxbackground,wrapsentinel"
+	if got := strings.Join(names, ","); got != want {
+		t.Fatalf("Analyzers() order = %s, want %s", got, want)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "lockheld", Message: "boom"}
+	d.Pos.Filename, d.Pos.Line, d.Pos.Column = "a.go", 3, 7
+	if got, want := d.String(), "a.go:3:7: boom (lockheld)"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestParseIgnore(t *testing.T) {
+	cases := []struct {
+		comment string
+		names   []string
+		ok      bool
+	}{
+		{"//krlint:ignore lockheld reason text", []string{"lockheld"}, true},
+		{"// krlint:ignore a,b why", []string{"a", "b"}, true},
+		{"//krlint:ignore all everything", []string{"all"}, true},
+		{"//krlint:ignore", nil, false},
+		{"// regular comment", nil, false},
+	}
+	for _, c := range cases {
+		names, ok := parseIgnore(c.comment)
+		if ok != c.ok {
+			t.Errorf("parseIgnore(%q) ok = %v, want %v", c.comment, ok, c.ok)
+			continue
+		}
+		if strings.Join(names, ",") != strings.Join(c.names, ",") {
+			t.Errorf("parseIgnore(%q) = %v, want %v", c.comment, names, c.names)
+		}
+	}
+}
+
+func TestFormatVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		verbs  string
+	}{
+		{"plain", ""},
+		{"%d and %s", "ds"},
+		{"100%% done: %w", "w"},
+		{"%+v %#x %6.2f", "vxf"},
+		{"%*d", "*d"},
+		{"%[1]s", "s"},
+	}
+	for _, c := range cases {
+		if got := string(formatVerbs(c.format)); got != c.verbs {
+			t.Errorf("formatVerbs(%q) = %q, want %q", c.format, got, c.verbs)
+		}
+	}
+}
+
+func TestExpandPatterns(t *testing.T) {
+	loader, err := NewLoader("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := loader.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 5 {
+		t.Fatalf("Expand(./...) = %v, want the five fixture packages", all)
+	}
+	one, err := loader.Expand([]string{"./lockheld"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0] != "lockheld" {
+		t.Fatalf("Expand(./lockheld) = %v", one)
+	}
+	if _, err := loader.Expand([]string{"./nonexistent"}); err == nil {
+		t.Fatal("Expand of a dir without Go files should fail")
+	}
+}

@@ -1,0 +1,286 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path ("krcore/server"), or its
+	// root-relative directory for GOPATH-style fixture roots.
+	Path string
+	// Dir is the package's directory on disk.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages without the go toolchain's
+// build cache or any external dependency: module-local imports are
+// type-checked recursively from source, standard-library imports go
+// through the compiler's source importer. One Loader memoises every
+// package it checks, so a whole-module run pays for each import once.
+type Loader struct {
+	// Root is the directory packages and local imports resolve under.
+	Root string
+	// ModulePath is the module path local imports start with ("krcore").
+	// Empty means GOPATH-style resolution: an import path is a directory
+	// relative to Root (the testdata/src fixture convention).
+	ModulePath string
+
+	fset  *token.FileSet
+	std   types.ImporterFrom
+	cache map[string]*loadEntry
+}
+
+type loadEntry struct {
+	pkg *Package
+	err error
+}
+
+// NewLoader returns a loader rooted at dir. A go.mod in dir sets the
+// module path; without one the root is treated as a GOPATH-style
+// source tree (import path == relative directory).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{Root: abs, fset: token.NewFileSet(), cache: map[string]*loadEntry{}}
+	l.std, _ = importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom)
+	if mod, err := os.ReadFile(filepath.Join(abs, "go.mod")); err == nil {
+		l.ModulePath = modulePath(mod)
+	}
+	return l, nil
+}
+
+// modulePath extracts the module path from go.mod contents.
+func modulePath(mod []byte) string {
+	for _, line := range strings.Split(string(mod), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Expand resolves command-line package patterns to root-relative
+// directories: "./..." walks everything under the root, "./x/..."
+// everything under x, "./x" (or "x") exactly that directory. testdata
+// and hidden directories never match a "..." walk.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(rel string) {
+		rel = filepath.ToSlash(filepath.Clean(rel))
+		if !seen[rel] {
+			seen[rel] = true
+			dirs = append(dirs, rel)
+		}
+	}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		pat = strings.TrimPrefix(pat, "./")
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			base := filepath.Join(l.Root, filepath.FromSlash(strings.TrimSuffix(rest, "/")))
+			err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					rel, err := filepath.Rel(l.Root, path)
+					if err != nil {
+						return err
+					}
+					add(rel)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("lint: pattern %q: %w", pat, err)
+			}
+			continue
+		}
+		dir := filepath.Join(l.Root, filepath.FromSlash(pat))
+		if !hasGoFiles(dir) {
+			return nil, fmt.Errorf("lint: no Go files in %s", dir)
+		}
+		rel, err := filepath.Rel(l.Root, dir)
+		if err != nil {
+			return nil, err
+		}
+		add(rel)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test Go file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir parses and type-checks the package in the root-relative
+// directory rel.
+func (l *Loader) LoadDir(rel string) (*Package, error) {
+	path := l.importPathFor(rel)
+	return l.load(path)
+}
+
+// importPathFor maps a root-relative directory to its import path.
+func (l *Loader) importPathFor(rel string) string {
+	rel = filepath.ToSlash(filepath.Clean(rel))
+	if l.ModulePath == "" {
+		return rel
+	}
+	if rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + rel
+}
+
+// localDir maps an import path to the directory it lives in under the
+// root, or ok=false for non-local (standard library) paths.
+func (l *Loader) localDir(path string) (string, bool) {
+	if l.ModulePath == "" {
+		// GOPATH-style roots claim only directories that exist with Go
+		// files in them; anything else ("fmt", "sync") is standard
+		// library and resolves through the source importer.
+		dir := filepath.Join(l.Root, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir, true
+		}
+		return "", false
+	}
+	if path == l.ModulePath {
+		return l.Root, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.Root, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// load type-checks the package at the import path, memoised. Cycles in
+// module-local imports are reported, not followed.
+func (l *Loader) load(path string) (*Package, error) {
+	if ent, ok := l.cache[path]; ok {
+		if ent.pkg == nil && ent.err == nil {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+		return ent.pkg, ent.err
+	}
+	ent := &loadEntry{}
+	l.cache[path] = ent
+	pkg, err := l.loadUncached(path)
+	ent.pkg, ent.err = pkg, err
+	if err != nil {
+		ent.err = fmt.Errorf("lint: %s: %w", path, err)
+	}
+	return ent.pkg, ent.err
+}
+
+func (l *Loader) loadUncached(path string) (*Package, error) {
+	dir, ok := l.localDir(path)
+	if !ok {
+		return nil, fmt.Errorf("not under the analysis root")
+	}
+	// go/build evaluates build constraints (file suffixes and
+	// //go:build lines) exactly like the toolchain, so platform-gated
+	// files are selected consistently with a real build.
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files")
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: &chainImporter{l: l}}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// chainImporter resolves module-local imports through the loader and
+// everything else through the standard library's source importer.
+type chainImporter struct{ l *Loader }
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	return c.ImportFrom(path, "", 0)
+}
+
+func (c *chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if _, ok := c.l.localDir(path); ok {
+		pkg, err := c.l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if c.l.std == nil {
+		return nil, fmt.Errorf("lint: no importer for %q", path)
+	}
+	return c.l.std.ImportFrom(path, dir, mode)
+}

@@ -1,0 +1,56 @@
+// Package atomicfield exercises the atomicfield analyzer: fields
+// reached through sync/atomic anywhere must never be touched plainly.
+package atomicfield
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	hits  int64        // accessed via atomic.AddInt64 AND plainly: every plain site flagged
+	calls int64        // plain-only: fine
+	typed atomic.Int64 // typed atomic: immune by construction
+	mu    sync.Mutex
+}
+
+func (c *counters) hit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) snapshot() int64 {
+	return c.hits // want `plain access to c\.hits, which is accessed atomically \(sync/atomic\.AddInt64\) elsewhere`
+}
+
+func (c *counters) reset() {
+	c.mu.Lock()
+	c.hits = 0 // want `plain access to c\.hits`
+	c.mu.Unlock()
+}
+
+func (c *counters) plainOnly() int64 {
+	c.calls++
+	return c.calls
+}
+
+func (c *counters) typedOnly() int64 {
+	c.typed.Add(1)
+	return c.typed.Load()
+}
+
+// loadOK: sync/atomic accesses themselves are the sanctioned sites.
+func (c *counters) loadOK() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// swapOK: any sync/atomic function sanctions its &field argument.
+func (c *counters) swapOK() int64 {
+	return atomic.SwapInt64(&c.hits, 0)
+}
+
+// suppressedRead demonstrates the directive escape for a documented
+// single-goroutine init path.
+func (c *counters) suppressedRead() int64 {
+	//krlint:ignore atomicfield read-only before the engine is published
+	return c.hits
+}

@@ -1,0 +1,72 @@
+// Package ctxbackground exercises the ctxbackground analyzer: no fresh
+// root contexts where a caller's context (or Limits) is in scope.
+package ctxbackground
+
+import (
+	"context"
+	"time"
+)
+
+// Limits mirrors the engine's search-budget struct: having one in
+// scope means the caller's budget applies.
+type Limits struct {
+	MaxNodes int
+}
+
+// Options carries a caller context in a field.
+type Options struct {
+	Ctx context.Context
+}
+
+// severs is the flagged shape: the caller's deadline is dropped.
+func severs(ctx context.Context) error {
+	c, cancel := context.WithTimeout(context.Background(), time.Second) // want `Background\(\) with a caller context in scope`
+	defer cancel()
+	return work(c)
+}
+
+// todoSevers: TODO is the same bug with a different name.
+func todoSevers(ctx context.Context, n int) error {
+	return work(context.TODO()) // want `TODO\(\) with a caller context in scope`
+}
+
+// limitsSevers: a Limits parameter means a caller budget exists.
+func limitsSevers(lim Limits) error {
+	return work(context.Background()) // want `Background\(\) with a caller context in scope`
+}
+
+// optsSevers: a context field inside an options struct counts.
+func optsSevers(opts Options) error {
+	return work(context.Background()) // want `Background\(\) with a caller context in scope`
+}
+
+// closureSevers: closures inherit the enclosing function's context.
+func closureSevers(ctx context.Context) func() error {
+	return func() error {
+		return work(context.Background()) // want `Background\(\) with a caller context in scope`
+	}
+}
+
+// rootIsFine: no caller context in scope — main(), tests, daemons
+// legitimately mint roots.
+func rootIsFine() error {
+	return work(context.Background())
+}
+
+// derives is the fixed shape: detachment stays explicit.
+func derives(ctx context.Context) error {
+	c, cancel := context.WithTimeout(context.WithoutCancel(ctx), time.Second)
+	defer cancel()
+	return work(c)
+}
+
+// suppressed demonstrates the directive escape.
+func suppressed(ctx context.Context) error {
+	//krlint:ignore ctxbackground deliberate: detached telemetry flush
+	return work(context.Background())
+}
+
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}

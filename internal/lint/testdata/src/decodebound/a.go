@@ -1,0 +1,104 @@
+// Package decodebound exercises the decodebound analyzer: wire-decoded
+// lengths must pass a bounds check before reaching an allocation.
+package decodebound
+
+import "encoding/binary"
+
+// Reader mirrors the binenc.Reader shape: U-prefixed decode primitives
+// over a byte slice, plus the Count bounds-check primitive.
+type Reader struct {
+	buf []byte
+	off int
+}
+
+func (r *Reader) U8() uint8   { b := r.buf[r.off]; r.off++; return b }
+func (r *Reader) U32() uint32 { v := binary.LittleEndian.Uint32(r.buf[r.off:]); r.off += 4; return v }
+func (r *Reader) U64() uint64 { v := binary.LittleEndian.Uint64(r.buf[r.off:]); r.off += 8; return v }
+
+// Remaining reports the bytes left.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Count validates a decoded count against the bytes remaining — the
+// canonical cleanse.
+func (r *Reader) Count(elem int) int {
+	n := int(r.U32())
+	if n < 0 || n > r.Remaining()/elem {
+		return -1
+	}
+	return n
+}
+
+// allocRaw is the allocation bomb: a 4-byte prefix demands an
+// arbitrary allocation.
+func allocRaw(r *Reader) []uint32 {
+	n := int(r.U32())
+	out := make([]uint32, n) // want `make size n comes from wire bytes without a bounds check`
+	for i := range out {
+		out[i] = r.U32()
+	}
+	return out
+}
+
+// allocInline: the decode feeding make directly.
+func allocInline(r *Reader) []byte {
+	return make([]byte, r.U64()) // want `make size comes straight from wire bytes without a bounds check`
+}
+
+// appendLoop: a tainted loop bound growing a slice is the same bomb in
+// amortised form.
+func appendLoop(r *Reader) []uint32 {
+	n := r.U32()
+	var out []uint32
+	for i := uint32(0); i < n; i++ { // want `loop bound n comes from wire bytes without a bounds check and the loop grows a slice`
+		out = append(out, r.U32())
+	}
+	return out
+}
+
+// allocChecked is the contract shape: compare before allocating.
+func allocChecked(r *Reader) []uint32 {
+	n := int(r.U32())
+	if n < 0 || n > r.Remaining()/4 {
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = r.U32()
+	}
+	return out
+}
+
+// allocCounted: Reader.Count cleanses by construction.
+func allocCounted(r *Reader) []uint32 {
+	n := r.Count(4)
+	if n < 0 {
+		return nil
+	}
+	return make([]uint32, n)
+}
+
+// loopChecked: a bounds-checked count may drive an append loop.
+func loopChecked(r *Reader) []uint32 {
+	n := r.U32()
+	if int(n) > r.Remaining()/4 {
+		return nil
+	}
+	var out []uint32
+	for i := uint32(0); i < n; i++ {
+		out = append(out, r.U32())
+	}
+	return out
+}
+
+// binaryDirect: encoding/binary byte-order decoders taint too.
+func binaryDirect(b []byte) []byte {
+	n := binary.BigEndian.Uint32(b)
+	return make([]byte, n) // want `make size n comes from wire bytes without a bounds check`
+}
+
+// constSize: sizes not derived from the wire are fine.
+func constSize(r *Reader) []byte {
+	out := make([]byte, 16)
+	out[0] = r.U8()
+	return out
+}

@@ -1,0 +1,122 @@
+// Package lockheld exercises the lockheld analyzer: blocking calls
+// under sync.Mutex/RWMutex regions are flagged, I/O after unlock and
+// under krlint:iolock-marked locks is not.
+package lockheld
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+type engine struct {
+	mu    sync.RWMutex
+	state []byte
+	file  *os.File
+	out   io.Writer
+}
+
+// saveUnderLock is the bug class: writer I/O while the serving lock is
+// held stalls every reader behind the write.
+func (e *engine) saveUnderLock(path string) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return os.WriteFile(path, e.state, 0o644) // want `blocking call to os.WriteFile while e\.mu is held`
+}
+
+// syncUnderLock: fsync on a concrete *os.File under the lock.
+func (e *engine) syncUnderLock() error {
+	e.mu.Lock()
+	err := e.file.Sync() // want `blocking call to \(os\.File\)\.Sync while e\.mu is held`
+	e.mu.Unlock()
+	return err
+}
+
+// ifaceWriteUnderLock: interface-dispatched Write must be assumed to
+// reach a file or socket.
+func (e *engine) ifaceWriteUnderLock() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.out.Write(e.state) // want `blocking call to e\.out\.Write while e\.mu is held`
+}
+
+// sleepUnderLock: time.Sleep blocks like I/O does.
+func (e *engine) sleepUnderLock() {
+	e.mu.Lock()
+	time.Sleep(time.Millisecond) // want `blocking call to time\.Sleep while e\.mu is held`
+	e.mu.Unlock()
+}
+
+// fprintfIface: fmt.Fprintf to an interface-typed writer blocks;
+// writing to an in-memory strings.Builder does not.
+func (e *engine) fprintfIface(w io.Writer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fmt.Fprintf(w, "n=%d", len(e.state)) // want `blocking call to fmt\.Fprintf while e\.mu is held`
+}
+
+// closureUnderLock: a function literal passed as a call argument runs
+// synchronously under the caller's locks.
+func (e *engine) closureUnderLock(once *sync.Once) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	once.Do(func() {
+		_ = os.Mkdir("x", 0o755) // want `blocking call to os\.Mkdir while e\.mu is held`
+	})
+}
+
+// saveOutsideLock is the fixed shape: capture under the lock, write
+// after releasing it.
+func (e *engine) saveOutsideLock(path string) error {
+	e.mu.RLock()
+	buf := append([]byte(nil), e.state...)
+	e.mu.RUnlock()
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// goroutineEscapes: a goroutine body does not run under this frame's
+// locks.
+func (e *engine) goroutineEscapes(path string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	go func() {
+		_ = os.WriteFile(path, nil, 0o644)
+	}()
+}
+
+// builderIsMemory: fmt.Fprintf into strings.Builder never blocks.
+func (e *engine) builderIsMemory(b *strings.Builder) string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	fmt.Fprintf(b, "n=%d", len(e.state))
+	return b.String()
+}
+
+// journal models a lock whose documented contract IS serialising I/O.
+type journal struct {
+	// mu serialises appends; holding it across the write+fsync is the
+	// point. krlint:iolock
+	mu sync.Mutex
+	f  *os.File
+}
+
+// append is exempt: j.mu carries the iolock marker.
+func (j *journal) append(rec []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(rec); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// suppressed demonstrates the line directive escape.
+func (e *engine) suppressed() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	//krlint:ignore lockheld deliberate: measured, sub-microsecond tmpfs write
+	_ = os.Remove("scratch")
+}

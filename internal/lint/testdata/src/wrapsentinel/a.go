@@ -1,0 +1,59 @@
+// Package wrapsentinel exercises the wrapsentinel analyzer: sentinel
+// errors must be wrapped with %w so errors.Is keeps matching.
+package wrapsentinel
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	ErrChecksum  = errors.New("checksum mismatch")
+	ErrTruncated = errors.New("truncated input")
+	errInternal  = errors.New("internal") // lower-case: not part of the Is contract
+)
+
+// flattens is the bug: %v renders the sentinel to text and breaks
+// errors.Is downstream.
+func flattens(section string) error {
+	return fmt.Errorf("section %s: %v", section, ErrChecksum) // want `sentinel ErrChecksum formatted with %v; use %w`
+}
+
+// flattensS: %s is the same flattening.
+func flattensS() error {
+	return fmt.Errorf("decode: %s", ErrTruncated) // want `sentinel ErrTruncated formatted with %s; use %w`
+}
+
+// wraps is the contract shape.
+func wraps(section string) error {
+	return fmt.Errorf("section %s: %w", section, ErrChecksum)
+}
+
+// multiVerb: alignment must track argument positions past earlier verbs.
+func multiVerb(off int64) error {
+	return fmt.Errorf("offset %d (%s): %v", off, "hdr", ErrTruncated) // want `sentinel ErrTruncated formatted with %v; use %w`
+}
+
+// lowerCase: unexported helpers are not sentinels callers match on.
+func lowerCase() error {
+	return fmt.Errorf("op failed: %v", errInternal)
+}
+
+// notAnError: an Err-prefixed non-error value is not a sentinel.
+var ErrCount = 3
+
+func notAnError() error {
+	return fmt.Errorf("tries: %d", ErrCount)
+}
+
+// dynamic: a freshly built error wrapped with %w is fine; only
+// sentinels demand it.
+func dynamic(err error) error {
+	return fmt.Errorf("load: %v", err)
+}
+
+// suppressed demonstrates the directive escape for log-only messages.
+func suppressed() string {
+	//krlint:ignore wrapsentinel log text, never matched with errors.Is
+	return fmt.Errorf("warn: %v", ErrChecksum).Error()
+}

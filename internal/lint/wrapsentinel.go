@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// WrapSentinel flags sentinel errors passed to fmt.Errorf with a verb
+// other than %w. The snapshot and batch error contracts (PR 4/5) are
+// built on errors.Is: callers match ErrChecksum, ErrTruncated,
+// ErrMagic through arbitrarily deep wrapping. An Errorf("...: %v",
+// ErrChecksum) flattens the sentinel to text and silently breaks every
+// errors.Is test downstream — the decode still fails, but the caller
+// can no longer tell corruption from version skew. The analyzer aligns
+// the format verbs with the arguments and reports any package-level
+// `Err*` variable (or error-typed constant expression naming one)
+// formatted with %v, %s, %q or %x instead of %w.
+var WrapSentinel = &Analyzer{
+	Name: "wrapsentinel",
+	Doc:  "sentinel errors (Err* package vars) passed to fmt.Errorf must use %w, not %v/%s",
+	Run:  runWrapSentinel,
+}
+
+func runWrapSentinel(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := calleeFunc(pass.TypesInfo, call)
+			if f == nil || funcKey(f) != "fmt.Errorf" || len(call.Args) < 2 {
+				return true
+			}
+			format, ok := constString(pass.TypesInfo, call.Args[0])
+			if !ok {
+				return true
+			}
+			verbs := formatVerbs(format)
+			args := call.Args[1:]
+			for i, verb := range verbs {
+				if i >= len(args) {
+					break
+				}
+				if verb == 'w' {
+					continue
+				}
+				if obj := sentinelArg(pass.TypesInfo, args[i]); obj != nil {
+					pass.Reportf(args[i].Pos(), "sentinel %s formatted with %%%c; use %%w so errors.Is keeps matching through the wrap",
+						obj.Name(), verb)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// constString evaluates e as a constant string.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// formatVerbs extracts the verb characters of a fmt format string in
+// argument order. A '*' width or precision consumes an argument of its
+// own and appears as '*' in the result.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		// flags, width, precision — '*' consumes an argument.
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if strings.IndexByte("+-# 0123456789.[]", c) >= 0 {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs
+}
+
+// sentinelArg reports the package-level Err* error variable e denotes,
+// or nil.
+func sentinelArg(info *types.Info, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch ex := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = ex
+	case *ast.SelectorExpr:
+		id = ex.Sel
+	default:
+		return nil
+	}
+	obj := info.Uses[id]
+	v, ok := obj.(*types.Var)
+	if !ok || v.Parent() == nil || v.Parent().Parent() != types.Universe {
+		// Package-level variables live in the package scope, whose
+		// parent is the universe scope.
+		return nil
+	}
+	if !strings.HasPrefix(v.Name(), "Err") {
+		return nil
+	}
+	if !types.Implements(v.Type(), errorType) && !types.Implements(types.NewPointer(v.Type()), errorType) {
+		return nil
+	}
+	return v
+}

@@ -1,0 +1,70 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoadSnapshot feeds arbitrary bytes through the snapshot decoder,
+// seeded with every checked-in golden and corrupt fixture (current v2,
+// legacy v1, and the corrupt derivatives), and pins the decode
+// contract the corrupt-fixture tests check pointwise:
+//
+//   - Read never panics and never allocates proportionally to a lied
+//     length — malformed input fails fast with an error (the
+//     decodebound invariant, exercised here instead of proven).
+//   - Every decode error is a *FormatError wrapping one of the
+//     sentinels, so callers can keep telling corruption from version
+//     skew with errors.Is.
+//   - Anything that does decode re-encodes deterministically: a
+//     successful Read survives Write→Read→Write with identical bytes.
+//     (Input bytes themselves are not required to be stable — reading
+//     a v1 snapshot re-encodes as v2 — so idempotence is asserted one
+//     generation in.)
+func FuzzLoadSnapshot(f *testing.F) {
+	seeds, err := filepath.Glob(filepath.Join("..", "..", "testdata", "snapshots", "*.snap"))
+	if err != nil || len(seeds) == 0 {
+		f.Fatalf("no snapshot fixtures found: %v", err)
+	}
+	for _, path := range seeds {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Read(bytes.NewReader(data))
+		if err != nil {
+			var fe *FormatError
+			if !errors.As(err, &fe) {
+				t.Fatalf("decode error is not a *FormatError: %T %v", err, err)
+			}
+			if !errors.Is(err, ErrMagic) && !errors.Is(err, ErrVersion) &&
+				!errors.Is(err, ErrTruncated) && !errors.Is(err, ErrChecksum) &&
+				!errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error wraps no sentinel: %v", err)
+			}
+			return
+		}
+		var first bytes.Buffer
+		if err := Write(&first, st); err != nil {
+			t.Fatalf("re-encode of successfully decoded state: %v", err)
+		}
+		st2, err := Read(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of own encoding: %v", err)
+		}
+		var second bytes.Buffer
+		if err := Write(&second, st2); err != nil {
+			t.Fatalf("second re-encode: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("re-encoding is not idempotent: %d vs %d bytes", first.Len(), second.Len())
+		}
+	})
+}

@@ -34,6 +34,9 @@ const journalMagic = "# krcore-journal"
 // once per commit round, not once per ApplyBatch call, so N coalesced
 // writers share a single disk flush.
 type Journal struct {
+	// mu's contract IS serialising the append/compact I/O — every
+	// record hits the disk in commit order, holding writers back while
+	// the previous write+fsync completes. krlint:iolock
 	mu   sync.Mutex
 	f    *os.File
 	path string
