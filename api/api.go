@@ -23,6 +23,10 @@ const (
 	PathMaximum   = "/v1/maximum"
 	PathWarm      = "/v1/warm"
 	PathUpdate    = "/v1/update"
+	// PathMetrics serves the daemon's full metric registry in Prometheus
+	// text exposition format (0.0.4) — latency histograms, admission and
+	// cache counters, write-path instrumentation. GET, not JSON.
+	PathMetrics = "/metrics"
 )
 
 // QueryRequest asks for the (k,r)-cores at one setting. It is the body
@@ -194,13 +198,27 @@ type DynamicStats struct {
 }
 
 // ServerStats reports the daemon's expvar-style serving counters.
+//
+// Failed requests are split by blame since the error counters were
+// divided: ClientErrors covers 4xx failures the caller can fix (bad
+// JSON, invalid parameters, cancelled while queued), ServerErrors
+// covers 5xx daemon faults (a failed write-ahead journal append, for
+// example). Errors remains their sum so callers written against the
+// lumped counter keep working unchanged; admission-control 429s stay
+// in Rejected and count toward neither.
 type ServerStats struct {
 	// Queries counts search queries answered successfully.
 	Queries int64 `json:"queries"`
 	// Rejected counts requests turned away by admission control (429).
 	Rejected int64 `json:"rejected"`
-	// Errors counts requests that failed for any other reason.
+	// Errors counts all failed requests: ClientErrors + ServerErrors.
+	// Kept for backward compatibility with the pre-split counter.
 	Errors int64 `json:"errors"`
+	// ClientErrors counts requests failed by the client (4xx other than
+	// 429).
+	ClientErrors int64 `json:"client_errors"`
+	// ServerErrors counts requests failed by the daemon (5xx).
+	ServerErrors int64 `json:"server_errors"`
 	// UpdatesApplied counts update operations committed.
 	UpdatesApplied int64 `json:"updates_applied"`
 	// InFlight is the number of searches running right now.

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -150,6 +151,54 @@ func (c *Client) Health(ctx context.Context) error {
 		return fmt.Errorf("client: daemon unhealthy: %q", h.Status)
 	}
 	return nil
+}
+
+// Metrics fetches the daemon's Prometheus text-format metric export
+// (api.PathMetrics) verbatim — histograms, counters and gauges as
+// served to a scraper. Parse individual series with ParseMetrics.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+api.PathMetrics, nil)
+	if err != nil {
+		return "", fmt.Errorf("client: %s: %w", api.PathMetrics, err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("client: %s: %w", api.PathMetrics, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return "", fmt.Errorf("client: %s: %w", api.PathMetrics, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		return "", &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+	}
+	return string(body), nil
+}
+
+// ParseMetrics extracts the sample lines of a Prometheus text-format
+// export into a flat map from series (metric name plus any label
+// block, exactly as rendered — e.g. "krcored_queries_total" or
+// `krcored_http_request_seconds_bucket{endpoint="enumerate",le="0.1"}`)
+// to sample value. Comment and blank lines are skipped; malformed
+// sample lines are ignored rather than failing the scrape.
+func ParseMetrics(text string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:i]] = v
+	}
+	return out
 }
 
 // Stats fetches the daemon's cache and serving counters.

@@ -231,3 +231,55 @@ func TestClientWithHTTPClient(t *testing.T) {
 		t.Fatal(ae.Error())
 	}
 }
+
+// TestClientMetrics scrapes a real daemon's Prometheus export and
+// round-trips it through ParseMetrics.
+func TestClientMetrics(t *testing.T) {
+	c, _ := startDaemon(t, false)
+	ctx := context.Background()
+	if _, err := c.Enumerate(ctx, 3, 20, client.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "# TYPE krcored_queries_total counter") {
+		t.Fatalf("export missing TYPE header:\n%s", text)
+	}
+	samples := client.ParseMetrics(text)
+	if samples["krcored_queries_total"] != 1 {
+		t.Fatalf("krcored_queries_total = %v, want 1", samples["krcored_queries_total"])
+	}
+	if samples[`krcored_http_request_seconds_count{endpoint="enumerate"}`] != 1 {
+		t.Fatalf("enumerate histogram missing: %v", samples)
+	}
+}
+
+// TestClientMetricsErrors pins the scrape's failure modes: non-2xx
+// responses surface as APIError, dead daemons as transport errors.
+func TestClientMetricsErrors(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no metrics here", http.StatusNotFound)
+	}))
+	defer hs.Close()
+	ctx := context.Background()
+	_, err := client.New(hs.URL).Metrics(ctx)
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusNotFound {
+		t.Fatalf("got %v, want APIError 404", err)
+	}
+	hs.Close()
+	if _, err := client.New(hs.URL).Metrics(ctx); err == nil {
+		t.Fatal("scrape of a dead daemon succeeded")
+	}
+}
+
+// TestParseMetricsSkipsNoise checks the parser tolerates comments,
+// blanks and malformed lines without failing the scrape.
+func TestParseMetricsSkipsNoise(t *testing.T) {
+	got := client.ParseMetrics("# HELP a b\na 1\n\nnot a sample at all\nb{x=\"y\"} 2.5\nbad NaNish trailing-word\n")
+	if len(got) != 2 || got["a"] != 1 || got[`b{x="y"}`] != 2.5 {
+		t.Fatalf("parsed %v", got)
+	}
+}

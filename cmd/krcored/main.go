@@ -24,6 +24,20 @@
 // excess requests queue up to -queue-wait, then 429), and drains
 // in-flight queries before exiting on SIGINT/SIGTERM.
 //
+// # Observability
+//
+// GET /metrics serves the daemon's full metric registry in Prometheus
+// text format: per-endpoint request and search latency histograms,
+// admission-wait times and queue depth, cache hit/miss counters
+// (engine-wide and per prepared (k,r) setting), the client/server
+// error split, group-commit coalescing and journal fsync latency on
+// dynamic daemons, and Go runtime gauges — everything a scraper needs
+// to alert on the daemon without parsing /v1/stats. -pprof additionally
+// mounts net/http/pprof under /debug/pprof/ for live CPU and heap
+// profiles (opt-in; leave it off on exposed listeners). cmd/soak
+// drives a daemon with sustained mixed load and reports latency
+// percentiles from both sides of the wire.
+//
 // # Checkpoints
 //
 // -snapshot-save names a checkpoint file: the daemon writes its engine
@@ -62,6 +76,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -117,6 +132,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		parallelCap = fs.Int("parallel-cap", 8, "upper clamp on per-request worker counts")
 		warm        = fs.String("warm", "", "comma-separated settings to pre-build: k (default threshold) or k:r")
 		grace       = fs.Duration("grace", 10*time.Second, "shutdown drain budget for in-flight queries")
+		withPprof   = fs.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/ (opt-in)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -172,6 +188,30 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// Route the write path's instrumentation into the server's metric
+	// registry: group-commit coalescing from the engine, append latency
+	// (write + fsync) from the journal.
+	if deng, ok := backend.(*krcore.DynamicEngine); ok {
+		deng.SetCommitObserver(srv.ObserveGroupCommit)
+	}
+	if journal != nil {
+		journal.SetAppendObserver(srv.ObserveJournalAppend)
+	}
+	handler := http.Handler(srv.Handler())
+	if *withPprof {
+		// Mount the profiling handlers explicitly on a wrapper mux
+		// instead of serving http.DefaultServeMux, so -pprof adds
+		// exactly these five routes and nothing any other package may
+		// have registered globally.
+		mux := http.NewServeMux()
+		mux.Handle("/", srv.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
 
 	if *warm != "" {
 		specs, err := parseWarm(*warm, d)
@@ -206,7 +246,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "serving %s (%d vertices, %d edges, %s engine)\n", name, g.N(), g.M(), mode)
 	fmt.Fprintf(stdout, "listening on http://%s\n", ln.Addr())
 
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 serve:

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSoakSelfHosted runs the whole harness end to end against a
+// self-hosted daemon: short mixed soak, server-error gate armed, BENCH
+// artifact written and well-formed.
+func TestSoakSelfHosted(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var buf strings.Builder
+	err := run(context.Background(), []string{
+		"-data", "brightkite", "-dynamic",
+		"-k", "5", "-duration", "400ms", "-rate", "80", "-workers", "3",
+		"-write-mix", "0.2", "-max-server-errors", "0",
+		"-bench-out", out,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("soak failed: %v\noutput:\n%s", err, buf.String())
+	}
+	text := buf.String()
+	for _, want := range []string{"self-hosting brightkite", "soaked for", "server:", "bench artifact written"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tables []benchTable
+	if err := json.Unmarshal(blob, &tables); err != nil {
+		t.Fatalf("artifact is not BENCH json: %v", err)
+	}
+	if len(tables) != 2 || tables[0].ID != "soak-latency" || tables[1].ID != "soak-server" {
+		t.Fatalf("artifact tables = %+v", tables)
+	}
+	for _, tb := range tables {
+		if len(tb.Xs) == 0 || len(tb.Series) == 0 {
+			t.Fatalf("table %s empty", tb.ID)
+		}
+		for _, s := range tb.Series {
+			if len(s.Cells) != len(tb.Xs) {
+				t.Fatalf("table %s series %s: %d cells for %d columns", tb.ID, s.Name, len(s.Cells), len(tb.Xs))
+			}
+		}
+	}
+	// The latency table must report real quantiles, not the no-traffic
+	// placeholder, for the read column at least.
+	if tables[0].Series[0].Cells[0] == "-" {
+		t.Fatalf("no read latency recorded: %+v", tables[0])
+	}
+}
+
+// TestSoakFlagValidation pins the harness's refusal modes.
+func TestSoakFlagValidation(t *testing.T) {
+	var buf strings.Builder
+	cases := [][]string{
+		{"-url", "http://127.0.0.1:1", "-duration", "100ms"}, // no -r with -url
+		{"-data", "brightkite", "-write-mix", "1.5"},         // mix out of range
+		{"-data", "brightkite", "-write-mix", "0.5",
+			"-duration", "100ms"}, // writes against a static self-host
+		{"-data", "brightkite", "-load", "x"}, // both sources
+		{"-data", "brightkite", "-workers", "0"},
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), args, &buf); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}
+
+func TestPerWorkerInterval(t *testing.T) {
+	if got := perWorkerInterval(0, 8); got != 0 {
+		t.Fatalf("unthrottled interval = %v", got)
+	}
+	if got := perWorkerInterval(100, 4); got != 40*time.Millisecond {
+		t.Fatalf("interval = %v, want 40ms (4 workers sharing 100 q/s)", got)
+	}
+}
+
+func TestFmtLatency(t *testing.T) {
+	if got := fmtLatency(0.00425); got != "4.25ms" {
+		t.Fatalf("fmtLatency = %q", got)
+	}
+}

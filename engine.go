@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -70,12 +71,16 @@ type rEntry struct {
 // krEntry is the prepared problem of one (k,r) setting. ready flips
 // after the once body completed, so concurrent queries can tell a
 // served entry (cache hit) from one still being built (miss: they
-// block on the once alongside the builder).
+// block on the once alongside the builder). hits/miss are the
+// per-setting split of the engine-wide counters, the series the
+// /metrics endpoint exports per (k,r).
 type krEntry struct {
 	once  sync.Once
 	pr    *core.Prepared
 	err   error
 	ready atomic.Bool
+	hits  atomic.Int64
+	miss  atomic.Int64
 }
 
 // readyREntry wraps already-built per-r state so later queries treat it
@@ -144,6 +149,54 @@ func (e *Engine) Stats() EngineStats {
 		Thresholds: len(e.byR),
 		Prepared:   len(e.byKR),
 	}
+}
+
+// SettingStats is the per-(k,r) split of the engine's cache traffic:
+// one entry per cached setting, the series the serving layer exports
+// on /metrics so an operator can see which settings are hot and which
+// keep missing.
+type SettingStats struct {
+	K            int
+	R            float64
+	Hits, Misses int64
+}
+
+// SettingsStats reports hit/miss counts per fully-built (k,r) setting,
+// sorted by k then r. Settings still being built (or whose build
+// failed) are omitted; a setting dropped by an update and rebuilt
+// later restarts its counts — the standard counter-reset semantics of
+// a scrape target. Counts carry across updates for every setting the
+// scoped invalidation keeps.
+func (e *Engine) SettingsStats() []SettingStats {
+	e.mu.Lock()
+	type kv struct {
+		key krKey
+		ent *krEntry
+	}
+	entries := make([]kv, 0, len(e.byKR))
+	for key, ent := range e.byKR {
+		entries = append(entries, kv{key, ent})
+	}
+	e.mu.Unlock()
+	out := make([]SettingStats, 0, len(entries))
+	for _, it := range entries {
+		if !it.ent.ready.Load() || it.ent.err != nil {
+			continue
+		}
+		out = append(out, SettingStats{
+			K:      it.key.k,
+			R:      it.key.r,
+			Hits:   it.ent.hits.Load(),
+			Misses: it.ent.miss.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].K != out[j].K {
+			return out[i].K < out[j].K
+		}
+		return out[i].R < out[j].R
+	})
+	return out
 }
 
 // Oracle returns the engine's cached similarity oracle for threshold r
@@ -304,8 +357,10 @@ func (e *Engine) prepared(k int, r float64) (*core.Prepared, error) {
 	// safe: it is written before the ready flag's atomic store.)
 	if ok && ent.ready.Load() && ent.err == nil {
 		e.hits.Add(1)
+		ent.hits.Add(1)
 	} else {
 		e.miss.Add(1)
+		ent.miss.Add(1)
 	}
 	ent.once.Do(func() {
 		re := e.forR(r)
@@ -460,7 +515,12 @@ func (e *Engine) advance(d advanceDelta) (*Engine, advanceStats) {
 			st.patchesFull++
 		}
 		st.coreVisited += pst.CoreVisited
-		ne.byKR[key] = readyKREntry(pr)
+		kept := readyKREntry(pr)
+		// Per-setting traffic counters follow the entry across the
+		// advance, like the engine-wide ones do.
+		kept.hits.Store(old.hits.Load())
+		kept.miss.Store(old.miss.Load())
+		ne.byKR[key] = kept
 	}
 	return ne, st
 }

@@ -125,6 +125,18 @@ type DynamicStats struct {
 	CoreVisited int64
 }
 
+// CommitInfo describes one committed group-commit round to a commit
+// observer: how many ApplyBatch calls coalesced into the round and how
+// many update operations they carried. Batches/1 is a round that found
+// no concurrent writers; larger values are the write path's amortised
+// fan-in, the distribution the serving layer exports as a histogram.
+type CommitInfo struct {
+	// Batches is the number of accepted ApplyBatch calls in the round.
+	Batches int
+	// Ops is the total accepted update operations across those batches.
+	Ops int
+}
+
 // JournalAppender receives every committed update before its snapshot
 // is published, the hook a durable write-ahead journal implements (see
 // updates.Journal). A commit group's operations arrive as one call —
@@ -172,8 +184,9 @@ type DynamicEngine struct {
 	// leader. journal is guarded by it, and the leader's journal append
 	// (one fsync per group commit) deliberately runs under it — that
 	// ordering is the durability contract. krlint:iolock
-	commitMu sync.Mutex
-	journal  JournalAppender
+	commitMu  sync.Mutex
+	journal   JournalAppender
+	commitObs func(CommitInfo)
 
 	// pendMu guards the queue of batches awaiting a leader.
 	pendMu  sync.Mutex
@@ -285,6 +298,18 @@ func (d *DynamicEngine) ApplyBatch(batch []Update) error {
 func (d *DynamicEngine) SetJournal(j JournalAppender) {
 	d.commitMu.Lock()
 	d.journal = j
+	d.commitMu.Unlock()
+}
+
+// SetCommitObserver registers fn (nil to detach), called by each
+// commit round's leader after the round is accepted — journalled and
+// about to publish — with the round's coalescing shape. The serving
+// layer uses it to feed group-commit batch-size histograms. fn runs
+// under the commit lock: it must be fast and must not block on I/O or
+// call back into the engine.
+func (d *DynamicEngine) SetCommitObserver(fn func(CommitInfo)) {
+	d.commitMu.Lock()
+	d.commitObs = fn
 	d.commitMu.Unlock()
 }
 
@@ -427,11 +452,20 @@ restart:
 		}
 	}
 
+	// observeCommit reports the accepted round's coalescing shape to the
+	// registered observer (leader-only, under commitMu — never d.mu).
+	observeCommit := func() {
+		if d.commitObs != nil && accepted > 0 {
+			d.commitObs(CommitInfo{Batches: accepted, Ops: len(ops)})
+		}
+	}
+
 	if delta.Empty() && len(attrUps) == 0 {
 		// Effective no-op round: keep the current snapshot.
 		d.mu.Lock()
 		countGroup()
 		d.mu.Unlock()
+		observeCommit()
 		deliver(group, errs)
 		return
 	}
@@ -503,6 +537,7 @@ restart:
 		publish(ne, ast)
 		d.mu.Unlock()
 	}
+	observeCommit()
 	deliver(group, errs)
 }
 
@@ -609,6 +644,15 @@ func (d *DynamicEngine) Stats() EngineStats {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return d.eng.Stats()
+}
+
+// SettingsStats reports the current snapshot's per-(k,r) cache
+// traffic (see Engine.SettingsStats). Counts persist across updates
+// for every setting the scoped invalidation carries over.
+func (d *DynamicEngine) SettingsStats() []SettingStats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.eng.SettingsStats()
 }
 
 // DynamicStats reports update activity and invalidation reuse counters.

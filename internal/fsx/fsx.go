@@ -1,0 +1,10 @@
+// Package fsx holds the small filesystem-durability helpers shared by
+// every component that renames files into place. Snapshot checkpoints
+// (internal/snapshot.WriteFileAtomic) and journal compaction
+// (internal/updates.Journal.CompactTo) both follow the same POSIX
+// recipe — write a temp file, fsync it, rename it over the target —
+// and that recipe is only crash-safe once the containing directory is
+// fsynced too: until then the directory entry itself may not survive
+// power loss, and a reader after the crash can still see the old
+// inode.
+package fsx

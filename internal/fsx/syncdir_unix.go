@@ -1,11 +1,11 @@
 //go:build !windows
 
-package snapshot
+package fsx
 
 import "os"
 
-// syncDir fsyncs a directory, making a just-renamed entry durable.
-func syncDir(dir string) error {
+// SyncDir fsyncs a directory, making a just-renamed entry durable.
+func SyncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
 		return err

@@ -1,0 +1,7 @@
+//go:build windows
+
+package fsx
+
+// SyncDir is a no-op on Windows, which offers no directory-handle
+// sync; rename durability is left to the OS.
+func SyncDir(string) error { return nil }

@@ -37,7 +37,9 @@ var blockingFuncs = map[string]bool{
 	"io.Copy": true, "io.CopyN": true, "io.CopyBuffer": true, "io.ReadAll": true, "io.ReadFull": true,
 
 	// Module-specific blockers: the snapshot encoder writes to its
-	// io.Writer as it goes, and the journal fsyncs per append.
+	// io.Writer as it goes, the journal fsyncs per append, and the
+	// shared directory-sync helper opens and fsyncs a directory.
+	"krcore/internal/fsx.SyncDir":              true,
 	"krcore/internal/snapshot.Write":           true,
 	"krcore/internal/snapshot.WriteFileAtomic": true,
 	"krcore/internal/updates.Compact":          true,

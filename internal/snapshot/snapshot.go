@@ -42,6 +42,7 @@ import (
 	"krcore/internal/attr"
 	"krcore/internal/binenc"
 	"krcore/internal/core"
+	"krcore/internal/fsx"
 	"krcore/internal/graph"
 	"krcore/internal/similarity"
 	"krcore/internal/simindex"
@@ -652,7 +653,7 @@ func WriteFileAtomic(path string, save func(io.Writer) error) (int64, error) {
 	// POSIX rename durability: the new directory entry survives power
 	// loss only after the containing directory is fsynced. Windows has
 	// no directory-handle sync, so the flush is left to the OS there.
-	if err := syncDir(filepath.Dir(path)); err != nil {
+	if err := fsx.SyncDir(filepath.Dir(path)); err != nil {
 		return 0, err
 	}
 	return info.Size(), nil

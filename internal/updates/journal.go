@@ -9,11 +9,18 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"krcore"
 	"krcore/internal/attr"
+	"krcore/internal/fsx"
 	"krcore/internal/snapshot"
 )
+
+// dirSync makes a just-renamed journal durable; a seam so the
+// compaction regression test can observe that the sync happens, and
+// happens after the rename.
+var dirSync = fsx.SyncDir
 
 // journalMagic is the first line of every journal file. The base field
 // is the absolute journal offset (krcore.DynamicEngine.JournalOffset)
@@ -43,6 +50,7 @@ type Journal struct {
 	kind attr.Kind
 	base int64 // absolute offset of the file's first operation
 	ops  int64 // operations currently in the file
+	obs  func(ops int, elapsed time.Duration)
 }
 
 // ParseKind maps an attribute-kind name (as reported by
@@ -142,6 +150,18 @@ func parseJournalHeader(data []byte, kind attr.Kind) (int64, error) {
 	return base, nil
 }
 
+// SetAppendObserver registers fn (nil to detach), called after every
+// durable append with the appended operation count and the combined
+// write+fsync latency — the disk-side half of a commit round's cost,
+// which the serving layer exports as the journal fsync-latency
+// histogram. fn runs under the journal's append lock: keep it to
+// in-memory bookkeeping.
+func (j *Journal) SetAppendObserver(fn func(ops int, elapsed time.Duration)) {
+	j.mu.Lock()
+	j.obs = fn
+	j.mu.Unlock()
+}
+
 // AppendBatch appends one committed operation group as a single write
 // followed by one fsync. The engine calls it once per commit round,
 // before any in-memory state changes; an error fails the whole round
@@ -153,6 +173,7 @@ func (j *Journal) AppendBatch(batch []krcore.Update) error {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	t0 := time.Now()
 	if _, err := j.f.Write(buf.Bytes()); err != nil {
 		return err
 	}
@@ -160,6 +181,9 @@ func (j *Journal) AppendBatch(batch []krcore.Update) error {
 		return err
 	}
 	j.ops += int64(len(batch))
+	if j.obs != nil {
+		j.obs(len(batch), time.Since(t0))
+	}
 	return nil
 }
 
@@ -252,6 +276,14 @@ func (j *Journal) CompactTo(newBase int64) (dropped int64, err error) {
 	}
 	if err := os.Rename(tmp.Name(), j.path); err != nil {
 		return 0, err
+	}
+	// POSIX rename durability: until the containing directory is
+	// fsynced, a crash can leave the directory entry pointing at the
+	// OLD journal while subsequent acknowledged appends land in the new
+	// file — committed write-ahead ops lost. Sync before accepting any
+	// new appends (callers serialise on j.mu, held here).
+	if err := dirSync(filepath.Dir(j.path)); err != nil {
+		return 0, fmt.Errorf("updates: journal compacted but directory sync failed: %w", err)
 	}
 	nf, err := os.OpenFile(j.path, os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {

@@ -161,6 +161,71 @@ func TestJournalKindMismatch(t *testing.T) {
 	}
 }
 
+// TestJournalCompactSyncsDirectory is the durability regression test
+// for journal compaction: CompactTo must fsync the journal's parent
+// directory AFTER renaming the compacted file into place and BEFORE
+// accepting new appends. Without it, a crash after compaction can
+// leave the directory entry referencing the old inode while
+// acknowledged appends went to the new file — committed write-ahead
+// ops lost. The sync-ordering hook records what the directory entry
+// held at sync time; pre-fix the hook never fires and the test fails.
+func TestJournalCompactSyncsDirectory(t *testing.T) {
+	eng, j, _ := journalEngine(t)
+	d := smallDataset(t, attr.KindGeo)
+	if _, err := Replay(eng, Random(d, 20, 7), 4); err != nil {
+		t.Fatal(err)
+	}
+	end := j.End()
+
+	type syncCall struct {
+		dir     string
+		content []byte
+	}
+	var calls []syncCall
+	orig := dirSync
+	dirSync = func(dir string) error {
+		// Capture what the directory entry resolves to at sync time:
+		// after the rename this is the compacted journal, before it the
+		// old full one — which is how the ordering is asserted.
+		data, err := os.ReadFile(j.path)
+		if err != nil {
+			t.Errorf("read journal at sync time: %v", err)
+		}
+		calls = append(calls, syncCall{dir: dir, content: data})
+		return orig(dir)
+	}
+	defer func() { dirSync = orig }()
+
+	if _, err := j.CompactTo(end); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) == 0 {
+		t.Fatal("CompactTo renamed the compacted journal without fsyncing the parent directory: the rename may not survive a crash")
+	}
+	last := calls[len(calls)-1]
+	if want := filepath.Dir(j.path); last.dir != want {
+		t.Fatalf("directory synced = %q, want the journal's parent %q", last.dir, want)
+	}
+	base, err := parseJournalHeader(last.content, attr.KindGeo)
+	if err != nil {
+		t.Fatalf("journal content at sync time unparseable: %v", err)
+	}
+	if base != end {
+		t.Fatalf("at sync time the directory entry held base=%d, want the compacted journal (base=%d): the sync ran before the rename", base, end)
+	}
+
+	// And the journal must still accept appends after the synced
+	// compaction (the reopen happened).
+	if err := eng.AddEdge(0, 1); err != nil {
+		if err := eng.RemoveEdge(0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.TailOps() != 1 {
+		t.Fatalf("post-compaction append not counted: tail=%d", j.TailOps())
+	}
+}
+
 // TestJournalCompactBounds rejects compaction offsets outside the
 // journal's range.
 func TestJournalCompactBounds(t *testing.T) {

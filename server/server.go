@@ -4,7 +4,17 @@
 // engines leave to the caller — per-request deadlines and node budgets
 // mapped onto Limits and context cancellation, an admission-control
 // semaphore bounding concurrent searches (excess requests queue
-// briefly, then 429), and expvar-style serving counters.
+// briefly, then 429), and a full metrics pipeline: per-endpoint and
+// per-stage latency histograms, admission-queue gauges, cache and
+// write-path counters, all exported in Prometheus text format at GET
+// /metrics (see Metrics for the registry).
+//
+// Error accounting splits blame: client_errors (bad JSON, invalid
+// parameters, cancelled-while-queued 408s) versus server_errors
+// (engine faults such as a failed write-ahead journal append, served
+// as 5xx) — so an error-rate alert on server_errors never fires on a
+// client's typo. Admission-control rejections (429) stay their own
+// series.
 //
 // The package serves an http.Handler; listener lifecycle and graceful
 // shutdown belong to the embedding process (see cmd/krcored, which
@@ -19,11 +29,14 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"krcore"
 	"krcore/api"
+	"krcore/internal/metrics"
 )
 
 // Backend is the query surface a server fronts. krcore.Engine and
@@ -43,6 +56,13 @@ type Backend interface {
 type Updater interface {
 	ApplyBatch(batch []krcore.Update) error
 	DynamicStats() krcore.DynamicStats
+}
+
+// settingsStatser is the optional per-(k,r) cache-traffic surface;
+// both engine flavours implement it. Backends that do get per-setting
+// hit/miss series on /metrics.
+type settingsStatser interface {
+	SettingsStats() []krcore.SettingStats
 }
 
 // Config parameterises a Server. The zero value of every field has a
@@ -73,7 +93,8 @@ type Config struct {
 	MaxParallelism int
 
 	// JournalLen, when set, reports the operation count of the daemon's
-	// update journal tail for PathStats (see cmd/krcored -journal).
+	// update journal tail for PathStats and the journal_tail_ops gauge
+	// (see cmd/krcored -journal).
 	JournalLen func() int64
 }
 
@@ -112,10 +133,22 @@ type Server struct {
 	inFlight atomic.Int64
 	peak     atomic.Int64
 
-	queries  atomic.Int64
-	rejected atomic.Int64
-	errs     atomic.Int64
-	applied  atomic.Int64
+	reg        *metrics.Registry
+	queries    *metrics.Counter
+	rejected   *metrics.Counter
+	clientErrs *metrics.Counter
+	serverErrs *metrics.Counter
+	applied    *metrics.Counter
+	writeFails *metrics.CounterVec // cause: disconnect | encode
+
+	reqSeconds    *metrics.HistogramVec // endpoint
+	searchSeconds *metrics.HistogramVec // endpoint
+	admissionWait *metrics.Histogram
+
+	commitBatches *metrics.Histogram
+	commitOps     *metrics.Histogram
+	journalOps    *metrics.Counter
+	journalWrite  *metrics.Histogram
 }
 
 // New returns a server fronting the backend. If the backend also
@@ -128,16 +161,137 @@ func New(b Backend, cfg Config) (*Server, error) {
 	s := &Server{cfg: cfg.withDefaults(), backend: b}
 	s.updater, _ = b.(Updater)
 	s.slots = make(chan struct{}, s.cfg.MaxConcurrent)
+	s.initMetrics()
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("GET "+api.PathHealth, s.handleHealth)
-	s.mux.HandleFunc("GET "+api.PathStats, s.handleStats)
-	s.mux.HandleFunc("POST "+api.PathEnumerate, s.handleEnumerate)
-	s.mux.HandleFunc("POST "+api.PathMaximum, s.handleMaximum)
-	s.mux.HandleFunc("POST "+api.PathWarm, s.handleWarm)
+	s.handle("GET "+api.PathHealth, "health", s.handleHealth)
+	s.handle("GET "+api.PathStats, "stats", s.handleStats)
+	s.handle("GET "+api.PathMetrics, "metrics", s.handleMetrics)
+	s.handle("POST "+api.PathEnumerate, "enumerate", s.handleEnumerate)
+	s.handle("POST "+api.PathMaximum, "maximum", s.handleMaximum)
+	s.handle("POST "+api.PathWarm, "warm", s.handleWarm)
 	if s.updater != nil {
-		s.mux.HandleFunc("POST "+api.PathUpdate, s.handleUpdate)
+		s.handle("POST "+api.PathUpdate, "update", s.handleUpdate)
 	}
 	return s, nil
+}
+
+// handle mounts one endpoint wrapped in the whole-request latency
+// histogram (admission wait, search and response writing included).
+func (s *Server) handle(pattern, endpoint string, h http.HandlerFunc) {
+	hist := s.reqSeconds.With(endpoint)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		h(w, r)
+		hist.Observe(time.Since(t0).Seconds())
+	})
+}
+
+// initMetrics registers every serving series. Push-style instruments
+// measure the request path; pull-style families read engine, queue and
+// runtime state at scrape time.
+func (s *Server) initMetrics() {
+	reg := metrics.NewRegistry()
+	s.reg = reg
+	lat := metrics.DefLatencyBuckets()
+
+	s.queries = reg.Counter("krcored_queries_total", "search queries answered successfully")
+	s.rejected = reg.Counter("krcored_rejected_total", "requests turned away by admission control (429)")
+	s.clientErrs = reg.Counter("krcored_client_errors_total", "requests failed by the client: bad JSON, invalid parameters, cancelled while queued")
+	s.serverErrs = reg.Counter("krcored_server_errors_total", "requests failed by the server (5xx): engine or journal faults")
+	s.applied = reg.Counter("krcored_updates_applied_total", "update operations committed")
+	s.writeFails = reg.CounterVec("krcored_response_write_failures_total", "response bodies that failed mid-write after the status was committed, by cause (disconnect: client went away; encode: server-side encoding bug)", "cause")
+
+	s.reqSeconds = reg.HistogramVec("krcored_http_request_seconds", "whole-request latency by endpoint (admission wait included)", lat, "endpoint")
+	s.searchSeconds = reg.HistogramVec("krcored_search_seconds", "backend search/warm duration by endpoint (admission excluded)", lat, "endpoint")
+	s.admissionWait = reg.Histogram("krcored_admission_wait_seconds", "time admitted requests spent waiting for a search slot", lat)
+
+	s.commitBatches = reg.Histogram("krcored_group_commit_batches", "ApplyBatch calls coalesced per commit round", metrics.ExponentialBuckets(1, 2, 9))
+	s.commitOps = reg.Histogram("krcored_group_commit_ops", "update operations per commit round", metrics.ExponentialBuckets(1, 2, 12))
+	s.journalOps = reg.Counter("krcored_journal_appended_ops_total", "operations appended to the write-ahead journal")
+	s.journalWrite = reg.Histogram("krcored_journal_append_seconds", "write-ahead journal append latency (write + fsync) per commit round", lat)
+
+	gaugeOf := func(name, help string, get func() int64) {
+		reg.SampleFunc(name, help, metrics.KindGauge, nil, func() []metrics.Sample {
+			return []metrics.Sample{{Value: float64(get())}}
+		})
+	}
+	gaugeOf("krcored_queue_depth", "requests waiting in the admission queue right now", s.waiters.Load)
+	gaugeOf("krcored_in_flight", "searches running right now", s.inFlight.Load)
+	gaugeOf("krcored_peak_in_flight", "highest concurrent-search count observed", s.peak.Load)
+	gaugeOf("krcored_search_slots", "admission-control concurrency limit", func() int64 { return int64(s.cfg.MaxConcurrent) })
+
+	engineOf := func(name, help string, kind metrics.Kind, get func(krcore.EngineStats) float64) {
+		reg.SampleFunc(name, help, kind, nil, func() []metrics.Sample {
+			return []metrics.Sample{{Value: get(s.backend.Stats())}}
+		})
+	}
+	engineOf("krcored_engine_cache_hits_total", "queries served from fully-prepared cached state", metrics.KindCounter,
+		func(st krcore.EngineStats) float64 { return float64(st.Hits) })
+	engineOf("krcored_engine_cache_misses_total", "queries that paid preparation latency", metrics.KindCounter,
+		func(st krcore.EngineStats) float64 { return float64(st.Misses) })
+	engineOf("krcored_engine_thresholds", "distinct r thresholds with cached oracle state", metrics.KindGauge,
+		func(st krcore.EngineStats) float64 { return float64(st.Thresholds) })
+	engineOf("krcored_engine_prepared", "distinct (k,r) settings with cached candidate components", metrics.KindGauge,
+		func(st krcore.EngineStats) float64 { return float64(st.Prepared) })
+
+	if ss, ok := s.backend.(settingsStatser); ok {
+		settingOf := func(name, help string, get func(krcore.SettingStats) float64) {
+			reg.SampleFunc(name, help, metrics.KindCounter, []string{"k", "r"}, func() []metrics.Sample {
+				stats := ss.SettingsStats()
+				out := make([]metrics.Sample, 0, len(stats))
+				for _, st := range stats {
+					out = append(out, metrics.Sample{
+						Labels: []string{strconv.Itoa(st.K), strconv.FormatFloat(st.R, 'g', -1, 64)},
+						Value:  get(st),
+					})
+				}
+				return out
+			})
+		}
+		settingOf("krcored_engine_setting_hits_total", "cache hits per prepared (k,r) setting",
+			func(st krcore.SettingStats) float64 { return float64(st.Hits) })
+		settingOf("krcored_engine_setting_misses_total", "cache misses per (k,r) setting",
+			func(st krcore.SettingStats) float64 { return float64(st.Misses) })
+	}
+
+	if s.updater != nil {
+		dynOf := func(name, help string, kind metrics.Kind, get func(krcore.DynamicStats) int64) {
+			reg.SampleFunc(name, help, kind, nil, func() []metrics.Sample {
+				return []metrics.Sample{{Value: float64(get(s.updater.DynamicStats()))}}
+			})
+		}
+		dynOf("krcored_dynamic_updates_total", "individual update operations accepted", metrics.KindCounter,
+			func(st krcore.DynamicStats) int64 { return st.Updates })
+		dynOf("krcored_dynamic_batches_total", "ApplyBatch commits", metrics.KindCounter,
+			func(st krcore.DynamicStats) int64 { return st.Batches })
+		dynOf("krcored_dynamic_group_commits_total", "commit rounds (concurrent batches coalesce)", metrics.KindCounter,
+			func(st krcore.DynamicStats) int64 { return st.GroupCommits })
+		dynOf("krcored_dynamic_version", "published graph snapshot version", metrics.KindGauge,
+			func(st krcore.DynamicStats) int64 { return st.Version })
+		dynOf("krcored_dynamic_patches_incremental_total", "cached settings maintained by bounded core repair", metrics.KindCounter,
+			func(st krcore.DynamicStats) int64 { return st.PatchesIncremental })
+		dynOf("krcored_dynamic_patches_full_total", "cached settings maintained by full recompute fallback", metrics.KindCounter,
+			func(st krcore.DynamicStats) int64 { return st.PatchesFull })
+	}
+	if s.cfg.JournalLen != nil {
+		gaugeOf("krcored_journal_tail_ops", "operations in the journal tail (crash-recovery replay cost)", s.cfg.JournalLen)
+	}
+
+	reg.SampleFunc("krcored_go_goroutines", "live goroutines in the daemon", metrics.KindGauge, nil, func() []metrics.Sample {
+		return []metrics.Sample{{Value: float64(runtime.NumGoroutine())}}
+	})
+	reg.SampleFunc("krcored_go_memstats", "daemon allocator state by stat (one runtime.ReadMemStats per scrape)", metrics.KindGauge, []string{"stat"}, func() []metrics.Sample {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return []metrics.Sample{
+			{Labels: []string{"heap_alloc_bytes"}, Value: float64(ms.HeapAlloc)},
+			{Labels: []string{"heap_objects"}, Value: float64(ms.HeapObjects)},
+			{Labels: []string{"total_alloc_bytes"}, Value: float64(ms.TotalAlloc)},
+			{Labels: []string{"sys_bytes"}, Value: float64(ms.Sys)},
+			{Labels: []string{"num_gc"}, Value: float64(ms.NumGC)},
+			{Labels: []string{"gc_pause_seconds_total"}, Value: float64(ms.PauseTotalNs) / 1e9},
+		}
+	})
 }
 
 // Handler returns the HTTP handler serving every endpoint.
@@ -146,13 +300,38 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Dynamic reports whether the server accepts updates.
 func (s *Server) Dynamic() bool { return s.updater != nil }
 
+// Metrics returns the server's metric registry — the families behind
+// GET /metrics. The embedding daemon may register additional series on
+// it before serving.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// ObserveGroupCommit records one committed write round's coalescing
+// shape. Wire it as the dynamic engine's commit observer
+// (krcore.DynamicEngine.SetCommitObserver) to populate the
+// group-commit histograms.
+func (s *Server) ObserveGroupCommit(ci krcore.CommitInfo) {
+	s.commitBatches.Observe(float64(ci.Batches))
+	s.commitOps.Observe(float64(ci.Ops))
+}
+
+// ObserveJournalAppend records one durable journal append. Wire it as
+// the journal's append observer (updates.Journal.SetAppendObserver) to
+// populate the journal ops counter and fsync-latency histogram.
+func (s *Server) ObserveJournalAppend(ops int, elapsed time.Duration) {
+	s.journalOps.Add(int64(ops))
+	s.journalWrite.Observe(elapsed.Seconds())
+}
+
 // ServerStats snapshots the serving counters.
 func (s *Server) ServerStats() api.ServerStats {
+	ce, se := s.clientErrs.Value(), s.serverErrs.Value()
 	return api.ServerStats{
-		Queries:        s.queries.Load(),
-		Rejected:       s.rejected.Load(),
-		Errors:         s.errs.Load(),
-		UpdatesApplied: s.applied.Load(),
+		Queries:        s.queries.Value(),
+		Rejected:       s.rejected.Value(),
+		Errors:         ce + se,
+		ClientErrors:   ce,
+		ServerErrors:   se,
+		UpdatesApplied: s.applied.Value(),
 		InFlight:       s.inFlight.Load(),
 		PeakInFlight:   s.peak.Load(),
 		MaxConcurrent:  int64(s.cfg.MaxConcurrent),
@@ -165,10 +344,14 @@ var errBusy = errors.New("server: all search slots busy")
 // acquire takes one search slot, waiting in the bounded admission
 // queue when none is free. It fails with errBusy when the queue is
 // full or the wait exceeds QueueWait, and with ctx.Err() when the
-// request is cancelled while queued.
+// request is cancelled while queued. Admitted requests record their
+// wait in the admission histogram; rejections surface through the
+// rejected/client-error counters instead.
 func (s *Server) acquire(ctx context.Context) error {
+	t0 := time.Now()
 	select {
 	case s.slots <- struct{}{}:
+		s.admissionWait.Observe(time.Since(t0).Seconds())
 		return nil
 	default:
 	}
@@ -181,6 +364,7 @@ func (s *Server) acquire(ctx context.Context) error {
 	defer t.Stop()
 	select {
 	case s.slots <- struct{}{}:
+		s.admissionWait.Observe(time.Since(t0).Seconds())
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -205,21 +389,45 @@ func (s *Server) trackInFlight() func() {
 	return func() { s.inFlight.Add(-1) }
 }
 
-// writeJSON writes one JSON response body.
-func writeJSON(w http.ResponseWriter, status int, body any) {
+// writeJSON writes one JSON response body. By the time the body
+// writes, the status header is committed — a failure here cannot
+// change the response, so it is surfaced on the write-failure metric
+// instead, split by blame: encoding bugs (a server-side type the
+// encoder rejects) versus disconnects (the client stopped reading).
+func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(body)
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		s.writeFails.With(writeFailCause(err)).Inc()
+	}
 }
 
-// fail writes an error body and counts it.
-func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
-	if status == http.StatusTooManyRequests {
-		s.rejected.Add(1)
-	} else {
-		s.errs.Add(1)
+// writeFailCause classifies a mid-body response failure: the JSON
+// encoder's own error types mean the server tried to serialise
+// something unserialisable; anything else is the transport, i.e. the
+// client went away.
+func writeFailCause(err error) string {
+	var ute *json.UnsupportedTypeError
+	var uve *json.UnsupportedValueError
+	var me *json.MarshalerError
+	if errors.As(err, &ute) || errors.As(err, &uve) || errors.As(err, &me) {
+		return "encode"
 	}
-	writeJSON(w, status, api.Error{Error: fmt.Sprintf(format, args...)})
+	return "disconnect"
+}
+
+// fail writes an error body and counts it: 429s as admission
+// rejections, 5xx as server errors, everything else as client errors.
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	switch {
+	case status == http.StatusTooManyRequests:
+		s.rejected.Inc()
+	case status >= 500:
+		s.serverErrs.Inc()
+	default:
+		s.clientErrs.Inc()
+	}
+	s.writeJSON(w, status, api.Error{Error: fmt.Sprintf(format, args...)})
 }
 
 // decode parses one JSON request body into dst.
@@ -233,7 +441,16 @@ func decode(r *http.Request, dst any) error {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, api.HealthResponse{Status: "ok"})
+	s.writeJSON(w, http.StatusOK, api.HealthResponse{Status: "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", metrics.TextContentType)
+	if err := s.reg.WriteText(w); err != nil {
+		// Samples were gathered before the first byte was written, so
+		// the only failure mode is the transport.
+		s.writeFails.With("disconnect").Inc()
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -271,7 +488,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			resp.DynamicEngine.JournalOps = s.cfg.JournalLen()
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // validateSetting checks a (k,r) pair — the one rejection policy for
@@ -344,21 +561,24 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
 	return false
 }
 
-// runQuery applies admission control around fn and renders its result.
-func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, fn func() (*krcore.Result, error)) {
+// runQuery applies admission control around fn and renders its result,
+// timing the search stage into the per-endpoint histogram.
+func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, endpoint string, fn func() (*krcore.Result, error)) {
 	if !s.admit(w, r) {
 		return
 	}
 	defer s.release()
 	defer s.trackInFlight()()
+	t0 := time.Now()
 	res, err := fn()
+	s.searchSeconds.With(endpoint).Observe(time.Since(t0).Seconds())
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.queries.Add(1)
+	s.queries.Inc()
 	st := res.Summarize()
-	writeJSON(w, http.StatusOK, api.QueryResponse{
+	s.writeJSON(w, http.StatusOK, api.QueryResponse{
 		Cores:     res.Cores,
 		Count:     st.Count,
 		MaxSize:   st.MaxSize,
@@ -379,7 +599,7 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.runQuery(w, r, func() (*krcore.Result, error) {
+	s.runQuery(w, r, "enumerate", func() (*krcore.Result, error) {
 		ctx, cancel, limits, par := s.queryContext(r, &q)
 		defer cancel()
 		opt := krcore.EnumOptions{Limits: limits, Parallelism: par}
@@ -400,7 +620,7 @@ func (s *Server) handleMaximum(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.runQuery(w, r, func() (*krcore.Result, error) {
+	s.runQuery(w, r, "maximum", func() (*krcore.Result, error) {
 		ctx, cancel, limits, par := s.queryContext(r, &q)
 		defer cancel()
 		return s.backend.FindMaximumContext(ctx, q.K, q.R, krcore.MaxOptions{Limits: limits, Parallelism: par})
@@ -423,11 +643,14 @@ func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
-	if err := s.backend.Warm(q.K, q.R); err != nil {
+	t0 := time.Now()
+	err := s.backend.Warm(q.K, q.R)
+	s.searchSeconds.With("warm").Observe(time.Since(t0).Seconds())
+	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, api.WarmResponse{Prepared: s.backend.Stats().Prepared})
+	s.writeJSON(w, http.StatusOK, api.WarmResponse{Prepared: s.backend.Stats().Prepared})
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
@@ -456,7 +679,9 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
+	t0 := time.Now()
 	err := s.updater.ApplyBatch(batch)
+	s.searchSeconds.With("update").Observe(time.Since(t0).Seconds())
 	version := s.updater.DynamicStats().Version
 	g := s.backend.Graph()
 	if err != nil {
@@ -464,12 +689,16 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &be) {
 			s.fail(w, http.StatusBadRequest, "update %d (%s): %v (batch discarded)", be.Index, be.Op, be.Err)
 		} else {
-			s.fail(w, http.StatusBadRequest, "%v", err)
+			// Not a validation rejection: the engine itself failed the
+			// round — a write-ahead journal append error, typically.
+			// That is the server's fault, so it serves (and counts) as
+			// a 5xx, keeping client_errors clean for alerting.
+			s.fail(w, http.StatusInternalServerError, "%v", err)
 		}
 		return
 	}
 	s.applied.Add(int64(len(batch)))
-	writeJSON(w, http.StatusOK, api.UpdateResponse{
+	s.writeJSON(w, http.StatusOK, api.UpdateResponse{
 		Applied: len(batch),
 		Version: version,
 		N:       g.N(),
