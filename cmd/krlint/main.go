@@ -15,10 +15,14 @@
 //	-list                        print the analyzers and exit
 //	-json                        emit findings as a JSON array
 //	-C dir                       analyze the module rooted at dir
+//	-summary krcore.Func         print one function's call-graph summary
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load errors. The
-// analyzers, the invariants they encode and the suppression escapes
-// are documented in internal/lint.
+// Exit status: 0 clean, 1 findings, 2 usage or load errors. All
+// requested packages are loaded first and analyzed as one module, so
+// interprocedural facts (may-block, lock sets, map-order taint) flow
+// across package boundaries; output is sorted by position and stable
+// across runs. The analyzers, the invariants they encode and the
+// suppression escapes are documented in internal/lint.
 package main
 
 import (
@@ -43,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list analyzers and exit")
 	asJSON := fs.Bool("json", false, "emit findings as JSON")
 	dir := fs.String("C", ".", "analyze the module rooted at this directory")
+	summary := fs.String("summary", "", "print the call-graph summary of one function (exact key or suffix) and exit")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: krlint [flags] [patterns]\n")
 		fs.PrintDefaults()
@@ -86,19 +91,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	var all []lint.Diagnostic
+	// Load every requested package first: the module is analyzed as one
+	// unit so call-graph summaries see across package boundaries.
+	var pkgs []*lint.Package
 	for _, rel := range dirs {
 		pkg, err := loader.LoadDir(rel)
 		if err != nil {
 			fmt.Fprintf(stderr, "krlint: %v\n", err)
 			return 2
 		}
-		diags, err := lint.Run(pkg, analyzers)
-		if err != nil {
-			fmt.Fprintf(stderr, "krlint: %v\n", err)
-			return 2
+		pkgs = append(pkgs, pkg)
+	}
+	// Transitively loaded local imports widen the summary table without
+	// being analyzed themselves.
+	var deps []*lint.Package
+	requested := map[string]bool{}
+	for _, p := range pkgs {
+		requested[p.Path] = true
+	}
+	for _, p := range loader.LoadedLocal() {
+		if !requested[p.Path] {
+			deps = append(deps, p)
 		}
-		all = append(all, diags...)
+	}
+
+	if *summary != "" {
+		return printSummary(stdout, stderr, loader, pkgs, deps, *summary)
+	}
+
+	all, err := lint.RunModule(pkgs, deps, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "krlint: %v\n", err)
+		return 2
 	}
 
 	if *asJSON {
@@ -121,6 +145,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "krlint: %d finding(s)\n", len(all))
 		}
 		return 1
+	}
+	return 0
+}
+
+// printSummary resolves query against the module's summary table —
+// exact function key first ("krcore/internal/updates.Compact",
+// "(krcore/internal/updates.Journal).AppendBatch"), then suffix match
+// — and prints every matching summary.
+func printSummary(stdout, stderr io.Writer, loader *lint.Loader, pkgs, deps []*lint.Package, query string) int {
+	sums := lint.BuildSummaries(append(pkgs, deps...))
+	var matched []string
+	if sums.Of(query) != nil {
+		matched = []string{query}
+	} else {
+		for _, key := range sums.Keys() {
+			if strings.HasSuffix(key, query) {
+				matched = append(matched, key)
+			}
+		}
+	}
+	if len(matched) == 0 {
+		fmt.Fprintf(stderr, "krlint: no function matches %q (keys look like pkgpath.Func or (pkgpath.Type).Method)\n", query)
+		return 2
+	}
+	for i, key := range matched {
+		if i > 0 {
+			fmt.Fprintln(stdout)
+		}
+		fmt.Fprint(stdout, sums.Of(key).Format(loader.Fset()))
 	}
 	return 0
 }

@@ -82,6 +82,39 @@ func TestJSONOutput(t *testing.T) {
 	}
 }
 
+func TestJSONDeterministic(t *testing.T) {
+	// Byte-identical output across runs is the contract CI annotations
+	// and diff-based tooling rely on: the global sort breaks every tie.
+	_, first, _ := runCmd(t, "-json", "-C", badmod, "./...")
+	_, second, _ := runCmd(t, "-json", "-C", badmod, "./...")
+	if first != second {
+		t.Fatalf("-json output differs between identical runs:\n%s\n---\n%s", first, second)
+	}
+}
+
+func TestSummaryFlag(t *testing.T) {
+	// Suffix match: "Flatten" resolves to badmod.Flatten.
+	code, out, stderr := runCmd(t, "-C", badmod, "-summary", "Flatten", "./...")
+	if code != 0 {
+		t.Fatalf("-summary Flatten exit = %d (stderr: %s)", code, stderr)
+	}
+	for _, want := range []string{"badmod.Flatten", "declared at", "may block: no"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-summary output missing %q:\n%s", want, out)
+		}
+	}
+	// Exact key match prints the same summary.
+	code, exact, _ := runCmd(t, "-C", badmod, "-summary", "badmod.Flatten", "./...")
+	if code != 0 || exact != out {
+		t.Fatalf("exact-key summary differs from suffix match: exit=%d\n%s\n---\n%s", code, exact, out)
+	}
+	// An unknown function is a usage error.
+	code, _, stderr = runCmd(t, "-C", badmod, "-summary", "NoSuchFunc", "./...")
+	if code != 2 || !strings.Contains(stderr, "no function matches") {
+		t.Fatalf("-summary NoSuchFunc: exit=%d stderr=%s", code, stderr)
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	if code, _, _ := runCmd(t, "-nonsense"); code != 2 {
 		t.Fatalf("bad flag exit = %d, want 2", code)

@@ -152,8 +152,14 @@ func searchComponent(prob *problem, opt EnumOptions, bud *budget, emit func([]in
 
 // enumSearch carries one component's enumeration.
 type enumSearch struct {
-	st     *state
-	opt    EnumOptions
+	st  *state
+	opt EnumOptions
+	// emit receives each discovered core. Every value stored here is an
+	// in-memory collector (runEnumeration's mutex-guarded append): the
+	// search runs under the serving engine's read lock, so emit must
+	// never perform I/O.
+	//
+	// krlint:nonblocking
 	emit   func([]int32)
 	anchor int32 // pre-committed query vertex, -1 when unanchored
 }

@@ -24,7 +24,15 @@ func runFixture(t *testing.T, rel string, analyzers ...*Analyzer) []Diagnostic {
 	if err != nil {
 		t.Fatalf("load %s: %v", rel, err)
 	}
-	diags, err := Run(pkg, analyzers)
+	// Fixture subpackages pulled in as imports join the summary table,
+	// exactly as krlint feeds a module's dependency closure.
+	var deps []*Package
+	for _, p := range loader.LoadedLocal() {
+		if p.Path != pkg.Path {
+			deps = append(deps, p)
+		}
+	}
+	diags, err := RunModule([]*Package{pkg}, deps, analyzers)
 	if err != nil {
 		t.Fatalf("run %s: %v", rel, err)
 	}

@@ -1,12 +1,23 @@
-// Package lint is the repo's static-analysis suite: five analyzers
+// Package lint is the repo's static-analysis suite: seven analyzers
 // that mechanically enforce invariants this codebase established the
-// hard way — no blocking I/O under a serving lock (PR 6's group-commit
-// restructure), no plain access to atomically-accessed fields (PR 2/4
+// hard way — no blocking I/O under a serving lock, even transitively
+// (PR 6's group-commit restructure), no lock-order cycles or
+// re-entrant locking across the module's call graph, no map iteration
+// order reaching ordered output unsorted (the bit-identical-results
+// contract), no plain access to atomically-accessed fields (PR 2/4
 // counter discipline), no wire-decoded length reaching an allocation
 // unchecked (PR 5's decode-safety contract), no context.Background()
 // where a caller context is in scope (PR 4's request-deadline
 // plumbing), and no sentinel error formatted without %w (PR 5's typed
 // *FormatError contract).
+//
+// The first three are interprocedural: a module-wide call graph with
+// per-function summaries (summary.go) computed bottom-up over SCCs
+// answers "does this call reach blocking I/O?", "which locks does it
+// take, in what order?" and "is this slice map-ordered?" — so no
+// module-local function is ever hand-listed as blocking, and a
+// SaveSnapshot-class bug any number of calls below a held lock is
+// caught the day it is written.
 //
 // The framework deliberately mirrors the golang.org/x/tools/go/analysis
 // API shape (Analyzer, Pass, Diagnostic, testdata/src fixtures with
@@ -40,29 +51,57 @@ import (
 	"strings"
 )
 
-// Analyzer is one named invariant check. Run inspects a single
-// type-checked package through its Pass and reports findings; it must
-// not retain the Pass after returning.
+// Analyzer is one named invariant check. Per-package analyzers set
+// Run; analyzers whose findings span packages (lock-order cycles) set
+// RunModule instead, which fires once per whole-module run with the
+// summary table. Either may be nil.
 type Analyzer struct {
 	// Name is the analyzer's identifier, used in output, -only flags
 	// and ignore directives.
 	Name string
 	// Doc is the one-line invariant statement shown by krlint -list.
 	Doc string
-	// Run performs the check.
+	// Run performs the per-package check.
 	Run func(*Pass) error
+	// RunModule performs a whole-module check over the summary table.
+	RunModule func(*ModulePass) error
 }
 
 // Pass carries one package's parsed and type-checked state to an
-// analyzer.
+// analyzer, plus the module-wide interprocedural summaries.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Summaries is the module-wide call-graph summary table; analyzers
+	// consult it to see through calls into other functions and packages.
+	Summaries *Summaries
+
+	pkg   *Package
+	diags *[]Diagnostic
+}
+
+// ModulePass carries the whole-module state to a RunModule analyzer.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Pkgs are the packages under analysis (diagnostics should concern
+	// these; Summaries may cover more).
+	Pkgs      []*Package
+	Summaries *Summaries
 
 	diags *[]Diagnostic
+}
+
+// Reportf records one module-level finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
 }
 
 // Reportf records one finding at pos.
@@ -92,6 +131,8 @@ func (d Diagnostic) String() string {
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		LockHeld,
+		LockOrder,
+		MapOrder,
 		AtomicField,
 		DecodeBound,
 		CtxBackground,
@@ -99,26 +140,57 @@ func Analyzers() []*Analyzer {
 	}
 }
 
-// Run applies the analyzers to one loaded package and returns the
-// surviving findings, sorted by position: ignore directives are
-// honoured here so every front end (driver, tests) applies the same
-// suppression semantics.
+// Run applies the analyzers to one loaded package. Summaries are built
+// from that package alone; whole-module runs should use RunModule so
+// interprocedural facts cross package boundaries.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunModule([]*Package{pkg}, nil, analyzers)
+}
+
+// RunModule applies the analyzers to pkgs with interprocedural
+// summaries computed over pkgs plus deps (module-local packages loaded
+// as imports), and returns the surviving findings sorted by position.
+// Ignore directives are honoured here so every front end (driver,
+// tests) applies the same suppression semantics.
+func RunModule(pkgs, deps []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	sums := BuildSummaries(append(append([]*Package{}, pkgs...), deps...))
 	var diags []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
-			diags:     &diags,
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Summaries: sums,
+				pkg:       pkg,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
 		}
 	}
-	diags = suppress(pkg, diags)
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		mp := &ModulePass{
+			Analyzer:  a,
+			Fset:      fsetOf(pkgs),
+			Pkgs:      pkgs,
+			Summaries: sums,
+			diags:     &diags,
+		}
+		if err := a.RunModule(mp); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	diags = suppress(pkgs, diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -130,29 +202,41 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return diags, nil
 }
 
+func fsetOf(pkgs []*Package) *token.FileSet {
+	if len(pkgs) > 0 {
+		return pkgs[0].Fset
+	}
+	return token.NewFileSet()
+}
+
 // suppress drops findings covered by a "//krlint:ignore" directive on
 // the same line or the line immediately above.
-func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
+func suppress(pkgs []*Package, diags []Diagnostic) []Diagnostic {
 	type key struct {
 		file string
 		line int
 	}
 	ignored := map[key][]string{}
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				names, ok := parseIgnore(c.Text)
-				if !ok {
-					continue
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					names, ok := parseIgnore(c.Text)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					k := key{file: pos.Filename, line: pos.Line}
+					ignored[k] = append(ignored[k], names...)
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				k := key{file: pos.Filename, line: pos.Line}
-				ignored[k] = append(ignored[k], names...)
 			}
 		}
 	}
@@ -237,7 +321,18 @@ func exprString(e ast.Expr) string { return types.ExprString(e) }
 // calleeFunc resolves the *types.Func a call expression invokes, nil
 // for calls through function-typed variables, conversions and builtins.
 func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
+	fun := ast.Unparen(call.Fun)
+	// Generic instantiations (f[T](...)) wrap the callee in an index
+	// expression; the summary of interest is the generic declaration's,
+	// so unwrap to it. Value indexing (fns[0]()) resolves to a *types.Var
+	// below and still returns nil.
+	switch idx := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(idx.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(idx.X)
+	}
+	switch fun := fun.(type) {
 	case *ast.Ident:
 		f, _ := info.Uses[fun].(*types.Func)
 		return f

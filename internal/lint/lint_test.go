@@ -9,6 +9,18 @@ func TestLockHeld(t *testing.T) {
 	runFixture(t, "lockheld", LockHeld)
 }
 
+func TestInterproc(t *testing.T) {
+	runFixture(t, "interproc", LockHeld)
+}
+
+func TestLockOrder(t *testing.T) {
+	runFixture(t, "lockorder", LockOrder)
+}
+
+func TestMapOrder(t *testing.T) {
+	runFixture(t, "maporder", MapOrder)
+}
+
 func TestAtomicField(t *testing.T) {
 	runFixture(t, "atomicfield", AtomicField)
 }
@@ -28,12 +40,12 @@ func TestWrapSentinel(t *testing.T) {
 func TestAnalyzersStableOrder(t *testing.T) {
 	names := []string{}
 	for _, a := range Analyzers() {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
+		if a.Name == "" || a.Doc == "" || (a.Run == nil && a.RunModule == nil) {
 			t.Fatalf("analyzer %+v incomplete", a)
 		}
 		names = append(names, a.Name)
 	}
-	want := "lockheld,atomicfield,decodebound,ctxbackground,wrapsentinel"
+	want := "lockheld,lockorder,maporder,atomicfield,decodebound,ctxbackground,wrapsentinel"
 	if got := strings.Join(names, ","); got != want {
 		t.Fatalf("Analyzers() order = %s, want %s", got, want)
 	}

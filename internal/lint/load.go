@@ -25,6 +25,11 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// litBinds and callBinds cache the package's resolvable local
+	// bindings (litBindings, callBindings); nil until first use.
+	litBinds  map[types.Object]*ast.FuncLit
+	callBinds map[types.Object]callBinding
 }
 
 // Loader parses and type-checks packages without the go toolchain's
@@ -79,6 +84,25 @@ func modulePath(mod []byte) string {
 
 // Fset returns the loader's shared file set.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// LoadedLocal returns every module-local package this loader has
+// type-checked so far — requested packages and their transitively
+// loaded local imports — sorted by import path. Front ends feed these
+// to RunModule so summaries cover the whole dependency closure.
+func (l *Loader) LoadedLocal() []*Package {
+	paths := make([]string, 0, len(l.cache))
+	for path, ent := range l.cache {
+		if ent.pkg != nil && ent.err == nil {
+			paths = append(paths, path)
+		}
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		pkgs = append(pkgs, l.cache[path].pkg)
+	}
+	return pkgs
+}
 
 // Expand resolves command-line package patterns to root-relative
 // directories: "./..." walks everything under the root, "./x/..."

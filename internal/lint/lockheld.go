@@ -7,23 +7,33 @@ import (
 	"strings"
 )
 
-// LockHeld flags blocking calls — file and network I/O, fsync, journal
-// appends, snapshot encodes, sleeps — made while a sync.Mutex or
-// sync.RWMutex is held. The serving engine's locks guard query fast
-// paths: one fsync under them and every reader stalls behind the next
-// writer, the outage class the group-commit write path was
-// restructured to avoid (structure-only rebuilds run outside the
-// reader lock). A mutex whose job IS to serialise I/O — a write-ahead
-// journal's append lock — declares that contract with a "krlint:iolock"
-// marker in its field doc comment, which exempts its regions.
+// LockHeld flags blocking calls — file and network I/O, fsync, sleeps,
+// and any module function that *transitively* reaches one — made while
+// a sync.Mutex or sync.RWMutex is held. The serving engine's locks
+// guard query fast paths: one fsync under them and every reader stalls
+// behind the next writer, the outage class the group-commit write path
+// was restructured to avoid.
+//
+// Classification is interprocedural: only standard-library leaves are
+// named by hand (blockingFuncs); whether a module function blocks is
+// derived from its call-graph summary, so a SaveSnapshot-class bug
+// hiding any number of calls deep is caught without anyone updating a
+// list. Interface-method calls with I/O-verb names and calls through
+// function values are conservatively widened to blocking (the target
+// is unknown). A mutex whose job IS to serialise I/O — a write-ahead
+// journal's append lock — declares that contract with a
+// "krlint:iolock" marker in its field doc comment, which exempts its
+// regions.
 var LockHeld = &Analyzer{
 	Name: "lockheld",
-	Doc:  "no blocking I/O while a sync.Mutex/RWMutex is held (mark deliberate I/O locks with krlint:iolock)",
+	Doc:  "no blocking call (even transitively) while a sync.Mutex/RWMutex is held (mark deliberate I/O locks with krlint:iolock)",
 	Run:  runLockHeld,
 }
 
-// blockingFuncs names package-level functions that block on I/O or
-// time, keyed by funcKey.
+// blockingFuncs seeds may-block with standard-library leaves only:
+// functions that reach the kernel for file, network, or timer waits.
+// Module-local functions are never listed here — the summary layer
+// derives their blocking behavior from what they transitively call.
 var blockingFuncs = map[string]bool{
 	"os.Open": true, "os.OpenFile": true, "os.Create": true, "os.CreateTemp": true,
 	"os.Rename": true, "os.Remove": true, "os.RemoveAll": true,
@@ -36,25 +46,12 @@ var blockingFuncs = map[string]bool{
 	"net/http.Get": true, "net/http.Post": true, "net/http.PostForm": true, "net/http.Head": true,
 	"io.Copy": true, "io.CopyN": true, "io.CopyBuffer": true, "io.ReadAll": true, "io.ReadFull": true,
 
-	// Module-specific blockers: the snapshot encoder writes to its
-	// io.Writer as it goes, the journal fsyncs per append, and the
-	// shared directory-sync helper opens and fsyncs a directory.
-	"krcore/internal/fsx.SyncDir":              true,
-	"krcore/internal/snapshot.Write":           true,
-	"krcore/internal/snapshot.WriteFileAtomic": true,
-	"krcore/internal/updates.Compact":          true,
-
 	"(os.File).Write": true, "(os.File).WriteString": true, "(os.File).WriteAt": true,
 	"(os.File).Read": true, "(os.File).ReadAt": true, "(os.File).ReadFrom": true,
 	"(os.File).Sync": true, "(os.File).Close": true, "(os.File).Seek": true,
 	"(net/http.Client).Do": true, "(net/http.Client).Get": true, "(net/http.Client).Post": true,
 	"(os/exec.Cmd).Run": true, "(os/exec.Cmd).Output": true,
 	"(os/exec.Cmd).CombinedOutput": true, "(os/exec.Cmd).Wait": true,
-
-	"(krcore/internal/updates.Journal).AppendBatch": true,
-	"(krcore/internal/updates.Journal).CompactTo":   true,
-	"(krcore/internal/updates.Journal).Tail":        true,
-	"(krcore/internal/updates.Journal).Close":       true,
 }
 
 // blockingIfaceMethods are method names that mean I/O when invoked
@@ -81,342 +78,92 @@ var memoryWriters = map[string]bool{
 }
 
 func runLockHeld(pass *Pass) error {
-	ioLocks := ioLockFields(pass)
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			lh := &lockChecker{pass: pass, ioLocks: ioLocks}
-			lh.block(fd.Body, newHeldSet())
+			f, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			key := ""
+			if f != nil {
+				key = funcKey(f)
+			}
+			lc := &lockHeldChecker{pass: pass, params: funcParamObjs(pass.pkg, fd)}
+			walkFuncBody(pass.pkg, key, fd.Body, pass.Summaries, lc)
 		}
 	}
 	return nil
 }
 
-// ioLockFields collects mutex struct fields whose doc comment carries
-// the krlint:iolock marker.
-func ioLockFields(pass *Pass) map[types.Object]bool {
-	marked := map[types.Object]bool{}
-	for _, file := range pass.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			st, ok := n.(*ast.StructType)
-			if !ok {
-				return true
-			}
-			for _, f := range st.Fields.List {
-				if !commentHas(f.Doc, "krlint:iolock") && !commentHas(f.Comment, "krlint:iolock") {
-					continue
-				}
-				for _, name := range f.Names {
-					if obj := pass.TypesInfo.Defs[name]; obj != nil && isMutex(obj.Type()) {
-						marked[obj] = true
-					}
-				}
-			}
-			return true
-		})
-	}
-	return marked
+// lockHeldChecker is the lockEvents implementation behind the
+// analyzer: it cares only about calls made while non-iolock locks are
+// held; acquisition bookkeeping is the walker's job.
+type lockHeldChecker struct {
+	pass   *Pass
+	params map[types.Object]int
 }
 
-func commentHas(cg *ast.CommentGroup, marker string) bool {
-	if cg == nil {
-		return false
-	}
-	return strings.Contains(cg.Text(), marker)
-}
+func (lc *lockHeldChecker) acquire(l *heldLock, prior *heldSet)             {}
+func (lc *lockHeldChecker) reacquire(l *heldLock, existing *heldLock)       {}
+func (lc *lockHeldChecker) strayRelease(key, display string, pos token.Pos) {}
+func (lc *lockHeldChecker) exit(held *heldSet)                              {}
+func (lc *lockHeldChecker) async() lockEvents                               { return lc }
 
-// isMutex reports whether t is sync.Mutex or sync.RWMutex (possibly
-// behind a pointer).
-func isMutex(t types.Type) bool {
-	return isNamed(t, "sync", "Mutex") || isNamed(t, "sync", "RWMutex")
-}
-
-// heldSet tracks the lock expressions currently held, keyed by the
-// printed receiver expression ("e.mu"). sticky entries were locked
-// with a deferred unlock and stay held to the end of the function.
-type heldSet struct {
-	locks map[string]token.Pos
-}
-
-func newHeldSet() *heldSet { return &heldSet{locks: map[string]token.Pos{}} }
-
-func (h *heldSet) clone() *heldSet {
-	c := newHeldSet()
-	for k, v := range h.locks {
-		c.locks[k] = v
-	}
-	return c
-}
-
-type lockChecker struct {
-	pass    *Pass
-	ioLocks map[types.Object]bool
-}
-
-// block walks one statement list in order, threading the held-lock set
-// through lock/unlock calls and recursing into nested statements.
-func (lc *lockChecker) block(b *ast.BlockStmt, held *heldSet) {
-	for _, stmt := range b.List {
-		lc.stmt(stmt, held)
-	}
-}
-
-func (lc *lockChecker) stmt(s ast.Stmt, held *heldSet) {
-	switch st := s.(type) {
-	case *ast.ExprStmt:
-		if call, ok := st.X.(*ast.CallExpr); ok {
-			if lc.lockOp(call, held, false) {
-				return
-			}
-		}
-		lc.checkExpr(st.X, held)
-	case *ast.DeferStmt:
-		if lc.lockOp(st.Call, held, true) {
-			return
-		}
+func (lc *lockHeldChecker) call(call *ast.CallExpr, held *heldSet, deferred bool) {
+	if deferred {
 		// A deferred blocking call runs at return; any sticky (deferred
-		// unlock) region no longer covers it in source order, so only
-		// check the arguments, which evaluate immediately.
-		for _, arg := range st.Call.Args {
-			lc.checkExpr(arg, held)
-		}
-	case *ast.GoStmt:
-		// The goroutine body runs without this frame's locks; its
-		// argument expressions evaluate now.
-		for _, arg := range st.Call.Args {
-			lc.checkExpr(arg, held)
-		}
-		if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
-			lc.block(fl.Body, newHeldSet())
-		}
-	case *ast.BlockStmt:
-		lc.block(st, held)
-	case *ast.IfStmt:
-		if st.Init != nil {
-			lc.stmt(st.Init, held)
-		}
-		lc.checkExpr(st.Cond, held)
-		lc.block(st.Body, held.clone())
-		if st.Else != nil {
-			lc.stmt(st.Else, held.clone())
-		}
-	case *ast.ForStmt:
-		if st.Init != nil {
-			lc.stmt(st.Init, held)
-		}
-		if st.Cond != nil {
-			lc.checkExpr(st.Cond, held)
-		}
-		lc.block(st.Body, held.clone())
-	case *ast.RangeStmt:
-		lc.checkExpr(st.X, held)
-		lc.block(st.Body, held.clone())
-	case *ast.SwitchStmt:
-		if st.Init != nil {
-			lc.stmt(st.Init, held)
-		}
-		if st.Tag != nil {
-			lc.checkExpr(st.Tag, held)
-		}
-		for _, c := range st.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				h := held.clone()
-				for _, s2 := range cc.Body {
-					lc.stmt(s2, h)
-				}
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		for _, c := range st.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				h := held.clone()
-				for _, s2 := range cc.Body {
-					lc.stmt(s2, h)
-				}
-			}
-		}
-	case *ast.SelectStmt:
-		for _, c := range st.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok {
-				h := held.clone()
-				for _, s2 := range cc.Body {
-					lc.stmt(s2, h)
-				}
-			}
-		}
-	case *ast.AssignStmt:
-		for _, rhs := range st.Rhs {
-			lc.checkExpr(rhs, held)
-		}
-	case *ast.ReturnStmt:
-		for _, res := range st.Results {
-			lc.checkExpr(res, held)
-		}
-	case *ast.LabeledStmt:
-		lc.stmt(st.Stmt, held)
-	default:
-		ast.Inspect(s, func(n ast.Node) bool {
-			if e, ok := n.(ast.Expr); ok {
-				lc.checkExpr(e, held)
-				return false
-			}
-			return true
-		})
-	}
-}
-
-// lockOp updates the held set when call is a Lock/Unlock on a mutex,
-// reporting whether it consumed the call. deferred marks unlocks
-// registered with defer: the lock stays held for the rest of the
-// function body.
-func (lc *lockChecker) lockOp(call *ast.CallExpr, held *heldSet, deferred bool) bool {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return false
-	}
-	recvT := lc.pass.TypesInfo.TypeOf(sel.X)
-	if recvT == nil || !isMutex(recvT) {
-		return false
-	}
-	key := exprString(sel.X)
-	switch sel.Sel.Name {
-	case "Lock", "RLock":
-		if lc.exempt(sel.X) {
-			return true
-		}
-		held.locks[key] = call.Pos()
-		return true
-	case "Unlock", "RUnlock":
-		if !deferred {
-			delete(held.locks, key)
-		}
-		// A deferred unlock keeps the lock held through the rest of the
-		// body, which is exactly what the held set already records.
-		return true
-	case "TryLock", "TryRLock":
-		// The result decides whether the lock is held; treat as held in
-		// the remainder conservatively only when statement-level
-		// handling sees it — skip for simplicity.
-		return true
-	}
-	return false
-}
-
-// exempt reports whether the lock receiver is a field marked
-// krlint:iolock.
-func (lc *lockChecker) exempt(recv ast.Expr) bool {
-	sel, ok := ast.Unparen(recv).(*ast.SelectorExpr)
-	if !ok {
-		return false
-	}
-	selection, ok := lc.pass.TypesInfo.Selections[sel]
-	if !ok {
-		return false
-	}
-	return lc.ioLocks[selection.Obj()]
-}
-
-// checkExpr reports blocking calls inside e while locks are held, and
-// recurses into function literals passed as call arguments (sync.Once
-// bodies, sort.Slice comparators run synchronously under the caller's
-// locks).
-func (lc *lockChecker) checkExpr(e ast.Expr, held *heldSet) {
-	if e == nil || len(held.locks) == 0 {
+		// unlock) region no longer covers it in source order.
 		return
 	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			// A literal that is merely stored or returned runs later,
-			// possibly without these locks. Literals that execute now —
-			// call arguments (sync.Once.Do bodies, sort comparators)
-			// and immediately-invoked functions — are walked from their
-			// CallExpr below.
-			return false
-		case *ast.CallExpr:
-			if name, blocking := lc.blockingCall(n); blocking {
-				lc.pass.Reportf(n.Pos(), "blocking call to %s while %s is held (locked at %s)",
-					name, heldNames(held), lc.pass.Fset.Position(earliest(held)).String())
-			}
-			if fl, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
-				lc.block(fl.Body, held.clone())
-			}
-			for _, arg := range n.Args {
-				if fl, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
-					lc.block(fl.Body, held.clone())
-				}
-			}
-		}
-		return true
-	})
+	guarded := heldOutsideIOLocks(held)
+	if len(guarded) == 0 {
+		return
+	}
+	bc := classifyBlocking(lc.pass.pkg, lc.pass.Summaries, call, lc.params)
+	if !bc.blocks && len(bc.params) == 0 {
+		return
+	}
+	// A call that blocks only through this function's own parameters is
+	// still reported: the lock region is handed to caller-supplied code,
+	// and whether any caller passes something blocking is invisible from
+	// here. A deliberate pure-callback contract is documented with an
+	// ignore directive at the call site.
+	chain := ""
+	if len(bc.via) > 1 {
+		chain = "; blocks via " + strings.Join(bc.via, " -> ")
+	}
+	lc.pass.Reportf(call.Pos(), "blocking call to %s while %s is held (locked at %s)%s",
+		bc.name, lockNames(guarded), lc.pass.Fset.Position(earliestLock(guarded)), chain)
 }
 
-// blockingCall classifies one call expression.
-func (lc *lockChecker) blockingCall(call *ast.CallExpr) (string, bool) {
-	f := calleeFunc(lc.pass.TypesInfo, call)
-	if f != nil {
-		key := funcKey(f)
-		if blockingFuncs[key] {
-			return key, true
-		}
-		if fprintFuncs[key] && len(call.Args) > 0 {
-			t := lc.pass.TypesInfo.TypeOf(call.Args[0])
-			if t != nil {
-				if pkgPath, name, ok := namedName(t); ok && memoryWriters[pkgPath+"."+name] {
-					return "", false
-				}
-			}
-			return key, true
-		}
-		// Interface-dispatched I/O: the receiver's static type is an
-		// interface and the method name is an I/O verb.
-		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
-			if types.IsInterface(sig.Recv().Type()) && blockingIfaceMethods[f.Name()] {
-				return funcIfaceKey(lc.pass, call, f), true
-			}
+// heldOutsideIOLocks filters out locks whose documented contract is
+// serialising I/O.
+func heldOutsideIOLocks(held *heldSet) []*heldLock {
+	var out []*heldLock
+	for _, l := range held.sorted() {
+		if !l.iolock {
+			out = append(out, l)
 		}
 	}
-	return "", false
+	return out
 }
 
-// funcIfaceKey renders "w.Write" style names for interface calls.
-func funcIfaceKey(pass *Pass, call *ast.CallExpr, f *types.Func) string {
-	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
-		return exprString(sel.X) + "." + f.Name()
+// lockNames lists held lock expressions for the message.
+func lockNames(locks []*heldLock) string {
+	names := make([]string, 0, len(locks))
+	for _, l := range locks {
+		names = append(names, l.display)
 	}
-	return f.Name()
-}
-
-// heldNames lists the held lock expressions for the message.
-func heldNames(h *heldSet) string {
-	names := make([]string, 0, len(h.locks))
-	for k := range h.locks {
-		names = append(names, k)
-	}
-	if len(names) == 1 {
-		return names[0]
-	}
-	sortStrings(names)
 	return strings.Join(names, ", ")
 }
 
-func earliest(h *heldSet) token.Pos {
+func earliestLock(locks []*heldLock) token.Pos {
 	min := token.NoPos
-	for _, p := range h.locks {
-		if min == token.NoPos || p < min {
-			min = p
+	for _, l := range locks {
+		if min == token.NoPos || l.pos < min {
+			min = l.pos
 		}
 	}
 	return min
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LockOrder reports potential deadlocks from the module-wide
+// acquired-before graph: if one call path takes lock A then lock B
+// while another takes B then A, two goroutines can block each other
+// forever — the classic ABBA shape, invisible to any per-function
+// check because the two acquisitions usually live in different
+// functions (or different packages). The analyzer also reports double
+// acquisition of a non-reentrant mutex by the same instance (a
+// self-deadlock: sync.Mutex and sync.RWMutex do not support recursive
+// locking), including the transitive shape where a method called with
+// the lock held re-locks it deep in a callee.
+//
+// Lock identity is canonical (struct field, package-level var), so the
+// graph spans instances; a deliberate instance-ordered scheme
+// (hand-over-hand on two values of one type) is invisible to it and
+// never reported — only cross-key cycles are.
+var LockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "lock acquisition order must be acyclic, and no mutex is re-acquired while held",
+	RunModule: runLockOrder,
+}
+
+func runLockOrder(mp *ModulePass) error {
+	analyzed := map[string]bool{}
+	for _, pkg := range mp.Pkgs {
+		analyzed[pkg.Types.Path()] = true
+	}
+
+	type edgeInfo struct {
+		OrderEdge
+		fn string
+	}
+	// Aggregate edges across every analyzed function, keeping the
+	// lexically smallest witness per (from, to) pair for determinism.
+	edges := map[[2]string]edgeInfo{}
+	sums := mp.Summaries
+	for _, key := range sums.Keys() {
+		sum := sums.Of(key)
+		if !analyzed[sum.PkgPath] {
+			continue
+		}
+		for _, r := range sum.Reacquired {
+			via := ""
+			if len(r.Via) > 0 {
+				via = " via " + strings.Join(r.Via, " -> ")
+			}
+			mp.Reportf(r.Pos, "%s acquired again while already held (first acquisition at %s)%s",
+				r.Display, mp.Fset.Position(r.FirstPos), via)
+		}
+		for _, e := range sum.Edges {
+			if len(e.Via) > 0 {
+				// Transitive edges re-materialize in every caller; the
+				// direct edge in the acquiring function is the canonical
+				// witness and is always present in some summary.
+				continue
+			}
+			k := [2]string{e.From, e.To}
+			prev, ok := edges[k]
+			if !ok || mp.Fset.Position(e.Pos).String() < mp.Fset.Position(prev.Pos).String() {
+				edges[k] = edgeInfo{OrderEdge: e, fn: key}
+			}
+		}
+	}
+
+	// Interprocedural edges: F holds A and calls G which acquires B.
+	// Those appear as Via-carrying edges in F's summary; fold them in
+	// (the direct-edge dedup above only covers same-function pairs).
+	for _, key := range sums.Keys() {
+		sum := sums.Of(key)
+		if !analyzed[sum.PkgPath] {
+			continue
+		}
+		for _, e := range sum.Edges {
+			if len(e.Via) == 0 {
+				continue
+			}
+			k := [2]string{e.From, e.To}
+			if _, ok := edges[k]; !ok {
+				edges[k] = edgeInfo{OrderEdge: e, fn: key}
+			}
+		}
+	}
+
+	// Cycle detection over the canonical lock keys.
+	nodeSet := map[string]bool{}
+	adj := map[string][]string{}
+	for k := range edges {
+		if k[0] == k[1] {
+			continue // same-key self edges are instance pairs, not order cycles
+		}
+		nodeSet[k[0]], nodeSet[k[1]] = true, true
+		adj[k[0]] = append(adj[k[0]], k[1])
+	}
+	nodes := make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for n := range adj {
+		sort.Strings(adj[n])
+	}
+
+	for _, comp := range tarjanSCC(nodes, adj) {
+		if len(comp) < 2 {
+			continue
+		}
+		inComp := map[string]bool{}
+		for _, n := range comp {
+			inComp[n] = true
+		}
+		cycle := findCycle(comp[0], adj, inComp)
+		if len(cycle) == 0 {
+			continue
+		}
+		var hops []string
+		for i := 0; i < len(cycle); i++ {
+			from, to := cycle[i], cycle[(i+1)%len(cycle)]
+			e := edges[[2]string{from, to}]
+			via := ""
+			if len(e.Via) > 0 {
+				via = " via " + strings.Join(e.Via, " -> ")
+			}
+			hops = append(hops, fmt.Sprintf("%s -> %s in %s%s (%s)",
+				from, to, e.fn, via, mp.Fset.Position(e.Pos)))
+		}
+		first := edges[[2]string{cycle[0], cycle[1%len(cycle)]}]
+		mp.Reportf(first.Pos, "lock order cycle (potential deadlock): %s -> %s; %s",
+			strings.Join(cycle, " -> "), cycle[0], strings.Join(hops, "; "))
+	}
+	return nil
+}
+
+// findCycle returns a cycle through start inside one SCC, as the node
+// sequence (start, ..., last) with an implicit edge back to start.
+// Deterministic: neighbors are explored in sorted order.
+func findCycle(start string, adj map[string][]string, inComp map[string]bool) []string {
+	var path []string
+	onPath := map[string]bool{}
+	var dfs func(n string) bool
+	dfs = func(n string) bool {
+		path = append(path, n)
+		onPath[n] = true
+		for _, m := range adj[n] {
+			if !inComp[m] {
+				continue
+			}
+			if m == start && len(path) > 1 {
+				return true
+			}
+			if !onPath[m] {
+				if dfs(m) {
+					return true
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		onPath[n] = false
+		return false
+	}
+	if dfs(start) {
+		return path
+	}
+	return nil
+}

@@ -1,0 +1,411 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// MapOrder flags `range` over a map whose iteration order flows into
+// ordered output without an intervening sort. The repo's headline
+// contract is bit-identical results — parallel vs serial, incremental
+// vs rebuilt, follower vs leader — and Go map iteration is the one
+// construct in the language that is *deliberately* nondeterministic:
+// let it reach a wire encoder, a snapshot section, a journal append,
+// or a rendered /metrics page and every differential harness in the
+// tree turns flaky. The analyzer is the mechanical check behind that
+// contract: emitting inside a map range, or accumulating keys into a
+// slice that reaches ordered output unsorted, is a finding; building
+// another map, counting, or sorting before use is not. Functions that
+// *return* a map-ordered slice taint their callers through the
+// summary layer's MapOrderedResults bit.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration order must not reach ordered output (wire, snapshot, journal, metrics) without a sort",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			findings, _ := mapOrderAnalyze(pass.pkg, fd, pass.Summaries)
+			for _, f := range findings {
+				pass.Reportf(f.pos, "%s", f.msg)
+			}
+		}
+	}
+	return nil
+}
+
+type mapFinding struct {
+	pos token.Pos
+	msg string
+}
+
+// mapTaint tracks one slice variable whose element order derives from
+// map iteration.
+type mapTaint struct {
+	src    string    // the ranged expression ("m", "keys(m)")
+	srcPos token.Pos // the range statement
+	sorted bool
+}
+
+// emitFuncs write their arguments (or format output) in call order —
+// ordered sinks for determinism purposes, whether or not the
+// destination is in memory.
+var emitFuncs = map[string]bool{
+	"fmt.Fprintf": true, "fmt.Fprint": true, "fmt.Fprintln": true,
+	"fmt.Printf": true, "fmt.Print": true, "fmt.Println": true,
+}
+
+// emitMethods are method names that append to an ordered stream.
+var emitMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "AppendBatch": true,
+}
+
+// consumeFuncs consume a slice in element order; a tainted slice
+// passed to one is a finding.
+var consumeFuncs = map[string]bool{
+	"strings.Join": true,
+}
+
+// sortFuncs cleanse: after one of these sees the slice, its order is
+// canonical.
+var sortFuncs = map[string]bool{
+	"sort.Strings": true, "sort.Ints": true, "sort.Float64s": true,
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true, "sort.Stable": true,
+	"slices.Sort": true, "slices.SortFunc": true, "slices.SortStableFunc": true,
+}
+
+// mapOrderAnalyze runs the per-function map-order taint analysis and
+// returns local findings plus the indices of results whose slice order
+// derives from map iteration (the interprocedural summary bit).
+// Shared between the maporder analyzer and the summary fixpoint.
+func mapOrderAnalyze(pkg *Package, fd *ast.FuncDecl, sums *Summaries) ([]mapFinding, []int) {
+	a := &mapOrderFunc{pkg: pkg, sums: sums, fd: fd, taints: map[types.Object]*mapTaint{}}
+
+	// Pass 1, in source order: map ranges (direct emits inside are
+	// findings; appends taint their targets) and taint propagation
+	// through assignments from map-ordered calls. Ranges over tainted
+	// slices wait for pass 3, after cleansing has marked sorted ones.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if src, ok := a.mapOrderedRangeSeed(n); ok {
+				a.scanRangeBody(n, src)
+			}
+		case *ast.AssignStmt:
+			a.assignFromOrderedCall(n)
+		}
+		return true
+	})
+
+	// Pass 2: cleansing — any sort call that sees a tainted variable
+	// after its range cancels the taint.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(pkg.Info, call)
+		if f == nil || !sortFuncs[funcKey(f)] {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if t, tainted := a.taints[pkg.Info.Uses[id]]; tainted && call.Pos() > t.srcPos {
+						t.sorted = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	// Pass 3: sinks — a tainted, unsorted slice reaching ordered
+	// output, a map-ordered range over one, or the return values.
+	var orderedResults []int
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			a.checkSinkCall(n)
+		case *ast.RangeStmt:
+			if src, ok := a.taintedRange(n); ok {
+				a.scanRangeBody(n, src)
+			}
+		case *ast.ReturnStmt:
+			orderedResults = append(orderedResults, a.checkReturn(n)...)
+		}
+		return true
+	})
+	// Named results assigned a tainted slice and returned bare.
+	orderedResults = append(orderedResults, a.taintedNamedResults()...)
+
+	sort.Ints(orderedResults)
+	orderedResults = dedupInts(orderedResults)
+	return a.findings, orderedResults
+}
+
+type mapOrderFunc struct {
+	pkg      *Package
+	sums     *Summaries
+	fd       *ast.FuncDecl
+	taints   map[types.Object]*mapTaint
+	findings []mapFinding
+}
+
+// mapOrderedRangeSeed reports whether the range statement iterates in
+// map-dependent order at the source: directly over a map, or over a
+// call whose summary marks the result map-ordered. Ranges over tainted
+// slices are classified later (taintedRange), once the cleansing pass
+// has marked sorted ones.
+func (a *mapOrderFunc) mapOrderedRangeSeed(st *ast.RangeStmt) (src string, ok bool) {
+	x := ast.Unparen(st.X)
+	if t := a.pkg.Info.TypeOf(x); t != nil {
+		if _, isMap := t.Underlying().(*types.Map); isMap {
+			return exprString(x), true
+		}
+	}
+	if call, isCall := x.(*ast.CallExpr); isCall {
+		if f := calleeFunc(a.pkg.Info, call); f != nil {
+			if cs := a.sums.Of(funcKey(f)); cs != nil && containsInt(cs.MapOrderedResults, 0) {
+				return exprString(x), true
+			}
+		}
+	}
+	return "", false
+}
+
+// taintedRange reports whether the range iterates over a slice still
+// carrying map-order taint after cleansing.
+func (a *mapOrderFunc) taintedRange(st *ast.RangeStmt) (src string, ok bool) {
+	if id, isIdent := ast.Unparen(st.X).(*ast.Ident); isIdent {
+		if t, tainted := a.taints[a.pkg.Info.Uses[id]]; tainted && !t.sorted && st.Pos() > t.srcPos {
+			return t.src, true
+		}
+	}
+	return "", false
+}
+
+// scanRangeBody walks one map-ordered range body: emit calls are
+// findings, slice appends/index-writes taint their targets.
+func (a *mapOrderFunc) scanRangeBody(st *ast.RangeStmt, src string) {
+	ast.Inspect(st.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := a.emitCall(n); ok {
+				a.findings = append(a.findings, mapFinding{
+					pos: n.Pos(),
+					msg: "call to " + name + " inside range over " + src +
+						": map iteration order reaches ordered output (sort keys first)",
+				})
+			}
+		case *ast.AssignStmt:
+			a.taintAssign(n, st, src)
+		}
+		return true
+	})
+}
+
+// taintAssign taints slice variables written per-iteration inside a
+// map-ordered range: s = append(s, ...), s[i] = v.
+func (a *mapOrderFunc) taintAssign(as *ast.AssignStmt, st *ast.RangeStmt, src string) {
+	for i, lhs := range as.Lhs {
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if i >= len(as.Rhs) {
+				continue
+			}
+			call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+				continue
+			} else if _, isBuiltin := a.pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				continue
+			}
+			obj := a.pkg.Info.Uses[l]
+			if obj == nil {
+				obj = a.pkg.Info.Defs[l]
+			}
+			if obj != nil && isSliceVar(obj) && obj.Pos() < st.Pos() {
+				a.taint(obj, st, src)
+			}
+		case *ast.IndexExpr:
+			if id, ok := ast.Unparen(l.X).(*ast.Ident); ok {
+				if obj := a.pkg.Info.Uses[id]; obj != nil && isSliceVar(obj) && obj.Pos() < st.Pos() {
+					a.taint(obj, st, src)
+				}
+			}
+		}
+	}
+}
+
+func (a *mapOrderFunc) taint(obj types.Object, st *ast.RangeStmt, src string) {
+	if _, ok := a.taints[obj]; !ok {
+		a.taints[obj] = &mapTaint{src: src, srcPos: st.Pos()}
+	}
+}
+
+// assignFromOrderedCall taints variables assigned the result of a call
+// whose summary marks that result map-ordered.
+func (a *mapOrderFunc) assignFromOrderedCall(as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	f := calleeFunc(a.pkg.Info, call)
+	if f == nil {
+		return
+	}
+	cs := a.sums.Of(funcKey(f))
+	if cs == nil || len(cs.MapOrderedResults) == 0 {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if !containsInt(cs.MapOrderedResults, i) {
+			continue
+		}
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			obj := a.pkg.Info.Uses[id]
+			if obj == nil {
+				obj = a.pkg.Info.Defs[id]
+			}
+			if obj != nil && isSliceVar(obj) {
+				a.taints[obj] = &mapTaint{src: exprString(call), srcPos: as.Pos()}
+			}
+		}
+	}
+}
+
+// emitCall classifies one call as an ordered-output sink.
+func (a *mapOrderFunc) emitCall(call *ast.CallExpr) (string, bool) {
+	f := calleeFunc(a.pkg.Info, call)
+	if f == nil {
+		return "", false
+	}
+	key := funcKey(f)
+	if emitFuncs[key] {
+		return key, true
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil && emitMethods[f.Name()] {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			return exprString(sel.X) + "." + f.Name(), true
+		}
+		return f.Name(), true
+	}
+	return "", false
+}
+
+// checkSinkCall reports tainted, unsorted slices passed to ordered
+// consumers (emit calls, strings.Join).
+func (a *mapOrderFunc) checkSinkCall(call *ast.CallExpr) {
+	name, isEmit := a.emitCall(call)
+	if !isEmit {
+		f := calleeFunc(a.pkg.Info, call)
+		if f == nil || !consumeFuncs[funcKey(f)] {
+			return
+		}
+		name = funcKey(f)
+	}
+	for _, arg := range call.Args {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		t, tainted := a.taints[a.pkg.Info.Uses[id]]
+		if tainted && !t.sorted && call.Pos() > t.srcPos {
+			a.findings = append(a.findings, mapFinding{
+				pos: call.Pos(),
+				msg: id.Name + " accumulates range over " + t.src +
+					" and reaches " + name + " unsorted: map iteration order leaks into ordered output",
+			})
+		}
+	}
+}
+
+// checkReturn marks result indices returning tainted, unsorted slices
+// — directly, or through a call whose summary marks them.
+func (a *mapOrderFunc) checkReturn(ret *ast.ReturnStmt) []int {
+	var out []int
+	for i, res := range ret.Results {
+		switch r := ast.Unparen(res).(type) {
+		case *ast.Ident:
+			if t, tainted := a.taints[a.pkg.Info.Uses[r]]; tainted && !t.sorted {
+				out = append(out, i)
+			}
+		case *ast.CallExpr:
+			if f := calleeFunc(a.pkg.Info, r); f != nil {
+				if cs := a.sums.Of(funcKey(f)); cs != nil && len(ret.Results) == 1 {
+					out = append(out, cs.MapOrderedResults...)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// taintedNamedResults handles `return` with named results: a tainted
+// named result variable is map-ordered.
+func (a *mapOrderFunc) taintedNamedResults() []int {
+	if a.fd.Type.Results == nil {
+		return nil
+	}
+	var out []int
+	idx := 0
+	for _, field := range a.fd.Type.Results.List {
+		if len(field.Names) == 0 {
+			idx++
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := a.pkg.Info.Defs[name]; obj != nil {
+				if t, tainted := a.taints[obj]; tainted && !t.sorted {
+					out = append(out, idx)
+				}
+			}
+			idx++
+		}
+	}
+	return out
+}
+
+func isSliceVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	_, isSlice := v.Type().Underlying().(*types.Slice)
+	return isSlice
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupInts(s []int) []int {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

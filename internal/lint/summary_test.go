@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// loadFixturePkgs loads one fixture package plus its transitively
+// loaded local imports, returning the package and the full closure.
+func loadFixturePkgs(t *testing.T, rel string) (*Package, []*Package) {
+	t.Helper()
+	loader, err := NewLoader(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.LoadDir(rel)
+	if err != nil {
+		t.Fatalf("load %s: %v", rel, err)
+	}
+	return pkg, loader.LoadedLocal()
+}
+
+func summaryOf(t *testing.T, sums *Summaries, key string) *Summary {
+	t.Helper()
+	s := sums.Of(key)
+	if s == nil {
+		t.Fatalf("no summary for %s (have %v)", key, sums.Keys())
+	}
+	return s
+}
+
+func TestSummaryEffects(t *testing.T) {
+	_, all := loadFixturePkgs(t, "interproc")
+	sums := BuildSummaries(all)
+
+	// May-block propagates from stdlib leaves through the call graph,
+	// across packages, and around a mutual-recursion SCC.
+	for _, key := range []string{
+		"interproc.writeFile",
+		"(interproc.server).SaveSnapshot",
+		"interproc.pingWrite",
+		"interproc.pongWrite",
+		"interproc/dep.Flush",
+	} {
+		if s := summaryOf(t, sums, key); !s.MayBlock {
+			t.Errorf("%s: MayBlock = false, want true", key)
+		}
+	}
+	save := summaryOf(t, sums, "(interproc.server).SaveSnapshot")
+	if want := []string{"interproc.writeFile", "os.WriteFile"}; !reflect.DeepEqual(save.BlockVia, want) {
+		t.Errorf("SaveSnapshot BlockVia = %v, want %v", save.BlockVia, want)
+	}
+
+	// Pure functions and param-sensitive callers stay un-widened.
+	for _, key := range []string{
+		"(interproc.server).size",
+		"interproc.runEach",
+		"interproc.newCounter",
+		"interproc/dep.Len",
+	} {
+		if s := summaryOf(t, sums, key); s.MayBlock {
+			t.Errorf("%s: MayBlock = true (via %v), want false", key, s.BlockVia)
+		}
+	}
+	if s := summaryOf(t, sums, "interproc.runEach"); !reflect.DeepEqual(s.BlockParams, []int{1}) {
+		t.Errorf("runEach BlockParams = %v, want [1]", s.BlockParams)
+	}
+	if s := summaryOf(t, sums, "interproc.newCounter"); !reflect.DeepEqual(s.CleanFuncResults, []int{0}) {
+		t.Errorf("newCounter CleanFuncResults = %v, want [0]", s.CleanFuncResults)
+	}
+
+	// Lock and unlock helpers summarize their effect on the caller.
+	const muKey = "interproc.server.mu"
+	if s := summaryOf(t, sums, "(interproc.server).lock"); s.HeldOnExit[muKey] == nil {
+		t.Errorf("lock HeldOnExit missing %s: %v", muKey, s.HeldOnExit)
+	}
+	if s := summaryOf(t, sums, "(interproc.server).unlock"); s.ReleasedOnEntry[muKey] == 0 {
+		t.Errorf("unlock ReleasedOnEntry missing %s: %v", muKey, s.ReleasedOnEntry)
+	}
+	// handle locks and releases symmetrically: nothing held on exit.
+	if s := summaryOf(t, sums, "(interproc.server).handle"); len(s.HeldOnExit) != 0 {
+		t.Errorf("handle HeldOnExit = %v, want empty", s.HeldOnExit)
+	}
+}
+
+func TestSummaryMapOrdered(t *testing.T) {
+	_, all := loadFixturePkgs(t, "maporder")
+	sums := BuildSummaries(all)
+	for key, want := range map[string][]int{
+		"maporder.unsortedKeys": {0},
+		"maporder.namedResult":  {0},
+		"maporder.sortedKeys":   nil,
+		"maporder.countValues":  nil,
+		"maporder.invert":       nil,
+	} {
+		got := summaryOf(t, sums, key).MapOrderedResults
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s MapOrderedResults = %v, want %v", key, got, want)
+		}
+	}
+}
+
+func TestSummaryFormatDeterministic(t *testing.T) {
+	render := func() string {
+		pkg, all := loadFixturePkgs(t, "interproc")
+		sums := BuildSummaries(all)
+		var b strings.Builder
+		for _, key := range sums.Keys() {
+			b.WriteString(sums.Of(key).Format(pkg.Fset))
+		}
+		return b.String()
+	}
+	first, second := render(), render()
+	if first != second {
+		t.Fatal("Format output differs between identical builds")
+	}
+	if !strings.Contains(first, "blocks if parameter 1 blocks") {
+		t.Errorf("rendered summaries missing runEach's block-params line:\n%s", first)
+	}
+}
+
+// TestTwoHopNeedsSummaries is the regression pin for the
+// interprocedural rebuild: the SaveSnapshot-shape bug — blocking leaf
+// two calls below a held lock — is invisible to per-function analysis
+// (an empty summary table, the old world where only hand-listed
+// functions counted as blocking) and caught with real summaries.
+func TestTwoHopNeedsSummaries(t *testing.T) {
+	pkg, all := loadFixturePkgs(t, "interproc")
+
+	run := func(sums *Summaries) []Diagnostic {
+		var diags []Diagnostic
+		pass := &Pass{
+			Analyzer:  LockHeld,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Summaries: sums,
+			pkg:       pkg,
+			diags:     &diags,
+		}
+		if err := LockHeld.Run(pass); err != nil {
+			t.Fatalf("lockheld: %v", err)
+		}
+		return diags
+	}
+	const twoHop = "blocking call to (interproc.server).SaveSnapshot"
+
+	for _, d := range run(BuildSummaries(nil)) {
+		if strings.Contains(d.Message, twoHop) {
+			t.Fatalf("per-function analysis unexpectedly found the two-hop bug: %s", d)
+		}
+	}
+	var hits []Diagnostic
+	for _, d := range run(BuildSummaries(all)) {
+		if strings.Contains(d.Message, twoHop) {
+			hits = append(hits, d)
+		}
+	}
+	if len(hits) != 1 {
+		t.Fatalf("summary-backed analysis found %d two-hop findings, want 1:\n%s", len(hits), diagStrings(hits))
+	}
+	if !strings.Contains(hits[0].Message, "blocks via (interproc.server).SaveSnapshot -> interproc.writeFile -> os.WriteFile") {
+		t.Errorf("two-hop finding lacks the witness chain: %s", hits[0].Message)
+	}
+}

@@ -1,0 +1,221 @@
+// Package interproc exercises the summary layer's interprocedural
+// reasoning: blocking leaves discovered through the call graph (two
+// hops deep, mutually recursive, or in another package), lock helpers
+// that acquire or release on their caller's behalf, and the precision
+// cases — caller-supplied funcs, local closures, method values,
+// generics, context.CancelFunc — that must not be widened to blocking.
+package interproc
+
+import (
+	"context"
+	"os"
+	"sync"
+
+	"interproc/dep"
+)
+
+type server struct {
+	mu    sync.Mutex
+	state []byte
+}
+
+// SaveSnapshot persists state. It blocks, but only through writeFile —
+// nothing in this function names the os package.
+func (s *server) SaveSnapshot(path string) error {
+	return writeFile(path, s.state)
+}
+
+func writeFile(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o600)
+}
+
+// handle is the two-hop SaveSnapshot shape: the blocking leaf sits two
+// calls away, so only the summary fixpoint can see it from here.
+func (s *server) handle(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.SaveSnapshot(path) // want `blocking call to \(interproc\.server\)\.SaveSnapshot while s\.mu is held \(locked at .*\); blocks via \(interproc\.server\)\.SaveSnapshot -> interproc\.writeFile -> os\.WriteFile`
+}
+
+// pingWrite and pongWrite are mutually recursive: the SCC fixpoint must
+// converge with both marked may-block from the single os.Remove leaf.
+func pingWrite(path string, n int) error {
+	if n == 0 {
+		return os.Remove(path)
+	}
+	return pongWrite(path, n-1)
+}
+
+func pongWrite(path string, n int) error {
+	if n == 0 {
+		return nil
+	}
+	return pingWrite(path, n-1)
+}
+
+func (s *server) recurse(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return pongWrite(path, 3) // want `blocking call to interproc\.pongWrite while s\.mu is held \(locked at .*\); blocks via interproc\.pongWrite -> interproc\.pingWrite -> os\.Remove`
+}
+
+// crossPackage reaches the leaf through an imported package: the
+// summary table spans the dependency closure.
+func (s *server) crossPackage(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return dep.Flush(path, s.state) // want `blocking call to interproc/dep\.Flush while s\.mu is held \(locked at .*\); blocks via interproc/dep\.Flush -> os\.WriteFile`
+}
+
+func (s *server) crossPackagePure() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return dep.Len(s.state) // dep's summary proves it pure: clean
+}
+
+// snapshotter loses the concrete target, so the interface I/O-verb
+// widening applies regardless of what implements it.
+type snapshotter interface {
+	SaveSnapshot(path string) error
+}
+
+func (s *server) viaInterface(sn snapshotter, path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return sn.SaveSnapshot(path) // want `blocking call to sn\.SaveSnapshot while s\.mu is held`
+}
+
+// lock and unlock acquire and release on the caller's behalf: the
+// walker applies their held-on-exit / released-on-entry summaries.
+func (s *server) lock()   { s.mu.Lock() }
+func (s *server) unlock() { s.mu.Unlock() }
+
+func (s *server) helperPaths(flag bool) error {
+	s.lock()
+	if flag {
+		s.unlock()
+		return nil
+	}
+	err := os.Chmod("state", 0o600) // want `blocking call to os\.Chmod while interproc\.server\.mu is held`
+	s.unlock()
+	return err
+}
+
+// deferPaths releases through a deferred unlock with an early return:
+// the region covers every path until the function exits.
+func (s *server) deferPaths(flag bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if flag {
+		return nil
+	}
+	return os.Truncate("state", 0) // want `blocking call to os\.Truncate while s\.mu is held`
+}
+
+// load is generic; the summary belongs to the generic declaration and
+// instantiated call sites must resolve to it through the index expr.
+func load[T any](path string) (T, error) {
+	var zero T
+	_, err := os.ReadFile(path)
+	return zero, err
+}
+
+func (s *server) generic(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := load[int](path) // want `blocking call to interproc\.load while s\.mu is held`
+	return err
+}
+
+// runEach blocks exactly when fn does: its summary records the
+// param-sensitive verdict, resolved independently at each call site.
+func runEach(n int, fn func()) {
+	for i := 0; i < n; i++ {
+		fn()
+	}
+}
+
+func (s *server) pureCallback() int {
+	count := 0
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	runEach(3, func() { count++ }) // statically pure argument: clean
+	return count
+}
+
+func (s *server) blockingCallback(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	runEach(1, func() { // want `blocking call to interproc\.runEach while s\.mu is held \(locked at .*\); blocks via interproc\.runEach -> func literal -> os\.Remove`
+		os.Remove(path) // want `blocking call to os\.Remove while s\.mu is held`
+	})
+}
+
+// withLock hands its locked region to caller-supplied code: reported
+// here — the only place the lock is visible — while the summary records
+// the dependency so callers with pure arguments stay clean.
+func (s *server) withLock(fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn() // want `blocking call to fn \(caller-supplied func\) while s\.mu is held`
+}
+
+// localClosure calls a variable bound to exactly one literal: resolved
+// by that literal's body instead of widened.
+func (s *server) localClosure() int {
+	total := 0
+	add := func(n int) { total += n }
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	add(2) // the literal's body is pure: clean
+	return total
+}
+
+// reassignedClosure cannot be resolved — two assignments — so the call
+// widens to blocking, the conservative fallback.
+func (s *server) reassignedClosure(path string) {
+	f := func() {}
+	f = func() { os.Remove(path) }
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f() // want `blocking call to f \(function value\) while s\.mu is held`
+}
+
+// cancelUnderLock: context.CancelFunc values only signal; calling one
+// under a lock is fine.
+func (s *server) cancelUnderLock(ctx context.Context) context.Context {
+	cctx, cancel := context.WithCancel(ctx)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cancel() // cancellation never performs I/O: clean
+	return cctx
+}
+
+// newCounter's returned func is statically non-blocking; the summary
+// records the clean result so callers may invoke it under a lock.
+func newCounter() func() int {
+	n := 0
+	return func() int { n++; return n }
+}
+
+func (s *server) counterUnderLock() int {
+	tick := newCounter()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return tick() // producer promises a non-blocking result: clean
+}
+
+func (s *server) size() int { return len(s.state) }
+
+// observe and runPath call their parameters; a method value passed
+// through them is judged by its summary, exactly like a direct call.
+func observe(f func() int) int { return f() }
+
+func runPath(fn func(string) error, path string) error { return fn(path) }
+
+func (s *server) methodValues(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	observe(s.size)                      // pure method value: clean
+	return runPath(s.SaveSnapshot, path) // want `blocking call to interproc\.runPath while s\.mu is held \(locked at .*\); blocks via interproc\.runPath -> \(interproc\.server\)\.SaveSnapshot -> interproc\.writeFile -> os\.WriteFile`
+}

@@ -1,0 +1,14 @@
+// Package dep is a module-local leaf imported by the interproc
+// fixture: its blocking behavior must cross the package boundary
+// through the summary table, never through a hand-kept list.
+package dep
+
+import "os"
+
+// Flush rewrites the file at path — blocking, one hop from the leaf.
+func Flush(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o600)
+}
+
+// Len is pure; callers under a lock must stay clean.
+func Len(b []byte) int { return len(b) }

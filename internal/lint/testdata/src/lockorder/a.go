@@ -1,0 +1,99 @@
+// Package lockorder exercises the module-wide acquired-before graph:
+// an ABBA cycle taken directly, one that only exists through helper
+// calls, double acquisition of a non-reentrant mutex (direct and
+// transitive through a callee), and the instance-ordered negative the
+// canonical-key graph must never flag.
+package lockorder
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// abba1 and abba2 take the package locks in opposite orders — the
+// classic deadlock pair, invisible to any per-function check. The
+// cycle anchors at the smaller key's outgoing edge: muA -> muB here.
+func abba1() {
+	muA.Lock()
+	muB.Lock() // want `lock order cycle \(potential deadlock\): lockorder\.muA -> lockorder\.muB -> lockorder\.muA`
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func abba2() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+var (
+	muC sync.Mutex
+	muD sync.Mutex
+)
+
+// The C/D cycle exists only interprocedurally: each side takes its
+// second lock inside a helper, so both edges carry via chains.
+func cd1() {
+	muC.Lock()
+	defer muC.Unlock()
+	lockD() // want `lock order cycle \(potential deadlock\): lockorder\.muC -> lockorder\.muD -> lockorder\.muC.* via lockorder\.lockD`
+}
+
+func lockD() {
+	muD.Lock()
+	muD.Unlock()
+}
+
+func cd2() {
+	muD.Lock()
+	defer muD.Unlock()
+	lockC()
+}
+
+func lockC() {
+	muC.Lock()
+	muC.Unlock()
+}
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// double re-locks its own mutex: a self-deadlock, sync.Mutex is not
+// reentrant.
+func (b *box) double() {
+	b.mu.Lock()
+	b.mu.Lock() // want `b\.mu acquired again while already held \(first acquisition at .*\)`
+	b.n++
+	b.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// outer holds b.mu and calls a method that re-locks it — the
+// transitive self-deadlock, visible only through lockInner's summary
+// and only because the receiver is demonstrably the same instance.
+func (b *box) outer() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lockInner() // want `b\.mu acquired again while already held \(first acquisition at .*\) via \(lockorder\.box\)\.lockInner`
+}
+
+func (b *box) lockInner() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// handOverHand orders two instances of one type. Both sides map to the
+// same canonical key, so this is an instance pair — never a cycle, and
+// never a reacquire (x and y are distinct values).
+func handOverHand(x, y *box) {
+	x.mu.Lock()
+	y.mu.Lock()
+	x.mu.Unlock()
+	y.mu.Unlock()
+}

@@ -1,0 +1,118 @@
+// Package maporder exercises map-iteration-order taint: emitting
+// inside a map range, slices accumulated from one reaching ordered
+// sinks, cleansing by sort, and the interprocedural MapOrderedResults
+// bit that taints callers of a key-leaking function.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// emitDirect streams key=value lines straight out of map order.
+func emitDirect(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `call to fmt\.Fprintf inside range over m: map iteration order reaches ordered output \(sort keys first\)`
+	}
+}
+
+// builderEmit writes into a strings.Builder — in memory, but still an
+// ordered stream.
+func builderEmit(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `call to b\.WriteString inside range over m: map iteration order reaches ordered output`
+	}
+	return b.String()
+}
+
+// sortedKeys is the canonical clean shape: accumulate, sort, return.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// unsortedKeys leaks map order through its result: no local finding,
+// but the summary marks result 0 map-ordered for every caller.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// joinUnsorted hands the tainted slice to an ordered consumer.
+func joinUnsorted(m map[string]int) string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return strings.Join(keys, ",") // want `keys accumulates range over m and reaches strings\.Join unsorted: map iteration order leaks into ordered output`
+}
+
+// joinSorted cleanses before consuming.
+func joinSorted(m map[string]int) string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+// rangeOrderedCall ranges directly over a callee's map-ordered result.
+func rangeOrderedCall(w io.Writer, m map[string]int) {
+	for _, k := range unsortedKeys(m) {
+		fmt.Fprintln(w, k) // want `call to fmt\.Fprintln inside range over unsortedKeys\(m\): map iteration order reaches ordered output`
+	}
+}
+
+// assignedOrderedCall: the taint travels through the assignment and
+// the sort cancels it before the range.
+func assignedOrderedCall(w io.Writer, m map[string]int) {
+	keys := unsortedKeys(m)
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintln(w, k)
+	}
+}
+
+// emitTaintedVar: assigned from a map-ordered call, emitted whole.
+func emitTaintedVar(w io.Writer, m map[string]int) {
+	keys := unsortedKeys(m)
+	fmt.Fprintln(w, keys) // want `keys accumulates range over unsortedKeys\(m\) and reaches fmt\.Fprintln unsorted`
+}
+
+// namedResult returns a tainted named result bare: no local finding,
+// summary-only (callers see MapOrderedResults = [0]).
+func namedResult(m map[string]int) (keys []string) {
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return
+}
+
+// countValues only aggregates — order-insensitive, clean.
+func countValues(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// invert builds another map — order-insensitive, clean.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

@@ -400,7 +400,10 @@ func (v *vec) with(values []string, mk func() any) any {
 	if m, ok := v.kids[key]; ok {
 		return m
 	}
-	m = mk()
+	// Every mk in this package is a plain struct constructor; nothing
+	// caller-supplied crosses the package boundary, so running it under
+	// v.mu cannot reach I/O.
+	m = mk() //krlint:ignore lockheld mk is a package-local pure constructor
 	v.kids[key] = m
 	return m
 }
