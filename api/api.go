@@ -27,6 +27,51 @@ const (
 	// text exposition format (0.0.4) — latency histograms, admission and
 	// cache counters, write-path instrumentation. GET, not JSON.
 	PathMetrics = "/metrics"
+
+	// PathSnapshot (GET) streams the engine's current snapshot in the
+	// binary krsnap format; the snapshot carries its own journal offset,
+	// echoed in HeaderOffset. This is how a follower bootstraps.
+	PathSnapshot = "/v1/snapshot"
+	// PathJournal (GET) streams committed journal operations in the
+	// internal/updates text wire format, starting at the absolute offset
+	// given by the "from" query parameter. "wait_ms" long-polls up to
+	// that long for new operations, "max" caps the operations returned.
+	// A "from" older than the journal's compacted base answers 410 Gone:
+	// the tail is no longer replayable and the follower must
+	// re-bootstrap from PathSnapshot.
+	PathJournal = "/v1/journal"
+	// PathReplication (GET) reports the node's replication role and
+	// offsets as a ReplicationStatus.
+	PathReplication = "/v1/replication"
+	// PathPromote (POST) turns a read-only follower into a writable
+	// leader (failover). Idempotent on an already-writable node.
+	PathPromote = "/v1/promote"
+)
+
+// Headers of the replication endpoints.
+const (
+	// HeaderKind carries the attribute-store kind of a journal stream or
+	// snapshot ("geo", "keywords", ...), so a follower can refuse to
+	// apply a tail from a differently-typed leader.
+	HeaderKind = "X-Krcore-Kind"
+	// HeaderOffset is the absolute journal offset of a PathSnapshot
+	// response: the number of operations already folded into it.
+	HeaderOffset = "X-Krcore-Offset"
+	// HeaderEnd is the absolute offset just past the last COMMITTED
+	// operation in the serving journal at read time — not the last
+	// operation returned (a "max" cap can hold the body short of it).
+	// The next poll starts at from + operations-returned; HeaderEnd
+	// minus that is the remaining lag. Set even on an empty body.
+	HeaderEnd = "X-Krcore-End"
+)
+
+// Replication roles reported by ReplicationStatus.Role.
+const (
+	RoleLeader   = "leader"
+	RoleFollower = "follower"
+	// RoleStatic is a read-only daemon without a dynamic engine; it can
+	// neither lead nor follow.
+	RoleStatic = "static"
 )
 
 // QueryRequest asks for the (k,r)-cores at one setting. It is the body
@@ -250,7 +295,43 @@ type HealthResponse struct {
 	Status string `json:"status"` // "ok"
 }
 
+// ReplicationStatus is the body of PathReplication.
+type ReplicationStatus struct {
+	// Role is RoleLeader, RoleFollower or RoleStatic.
+	Role string `json:"role"`
+	// Leader is the leader base URL a follower replicates from (empty on
+	// leaders and static nodes).
+	Leader string `json:"leader,omitempty"`
+	// Kind is the node's attribute-store kind ("geo", "keywords",
+	// "weighted-keywords") — a follower opens its local journal with
+	// the leader's kind before bootstrapping.
+	Kind string `json:"kind,omitempty"`
+	// AppliedOffset is the engine's journal offset: the count of
+	// operations folded into the serving state.
+	AppliedOffset int64 `json:"applied_offset"`
+	// JournalBase and JournalEnd bound the replayable journal tail
+	// [base, end); offsets below base have been compacted away. Zero on
+	// nodes running without a journal.
+	JournalBase int64 `json:"journal_base"`
+	JournalEnd  int64 `json:"journal_end"`
+	// LagOps is the follower's last observed distance behind its leader
+	// (leader end minus applied offset); 0 when caught up or leading.
+	LagOps int64 `json:"lag_ops"`
+}
+
+// PromoteResponse acknowledges a PathPromote.
+type PromoteResponse struct {
+	// Role after the promotion: RoleLeader.
+	Role string `json:"role"`
+	// AppliedOffset is the promoted node's journal offset — writes
+	// continue the same absolute numbering.
+	AppliedOffset int64 `json:"applied_offset"`
+}
+
 // Error is the body of every non-2xx response.
 type Error struct {
 	Error string `json:"error"`
+	// Leader, set on the 503 a read-only follower answers to a write,
+	// is the leader base URL the caller should retry against.
+	Leader string `json:"leader,omitempty"`
 }

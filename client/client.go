@@ -57,6 +57,9 @@ type APIError struct {
 	StatusCode int
 	// Message is the daemon's error string.
 	Message string
+	// Leader is the leader base URL carried by a read-only follower's
+	// write redirect (503), empty otherwise. See IsReadOnly.
+	Leader string
 }
 
 // Error implements the error interface.
@@ -125,12 +128,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		var ae api.Error
-		msg := resp.Status
-		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&ae) == nil && ae.Error != "" {
-			msg = ae.Error
-		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+		return decodeAPIError(resp)
 	}
 	if out == nil {
 		return nil
@@ -139,6 +137,17 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		return fmt.Errorf("client: decode %s: %w", path, err)
 	}
 	return nil
+}
+
+// decodeAPIError turns a non-2xx response into an *APIError, reading
+// the api.Error body when one is present.
+func decodeAPIError(resp *http.Response) *APIError {
+	var ae api.Error
+	msg := resp.Status
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&ae) == nil && ae.Error != "" {
+		msg = ae.Error
+	}
+	return &APIError{StatusCode: resp.StatusCode, Message: msg, Leader: ae.Leader}
 }
 
 // Health checks the daemon's liveness endpoint.

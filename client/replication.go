@@ -1,0 +1,172 @@
+// Replication client surface: snapshot download, journal tailing and
+// failover promotion against the daemon's replication endpoints. This
+// is what krcore/replica.Follower is built on; the primitives are
+// exported so other embedders (debug tooling, backup jobs) can speak
+// the same protocol.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"krcore"
+	"krcore/api"
+	"krcore/internal/updates"
+)
+
+// ErrTailCompacted reports a journal tail request below the leader's
+// compacted base (HTTP 410): the requested operations are gone for
+// good and the follower must re-bootstrap from Snapshot.
+var ErrTailCompacted = errors.New("client: requested journal offset compacted away")
+
+// IsReadOnly reports whether the error is a read-only follower's write
+// redirect (HTTP 503 with a leader URL) and returns the leader to
+// retry against.
+func IsReadOnly(err error) (leader string, ok bool) {
+	var ae *APIError
+	if errors.As(err, &ae) && ae.StatusCode == http.StatusServiceUnavailable && ae.Leader != "" {
+		return ae.Leader, true
+	}
+	return "", false
+}
+
+// SnapshotInfo describes a downloaded snapshot stream.
+type SnapshotInfo struct {
+	// Kind is the daemon's attribute-store kind ("geo", "keywords",
+	// "weighted-keywords"), from api.HeaderKind.
+	Kind string
+	// Offset is the advisory journal offset from api.HeaderOffset (the
+	// authoritative offset is embedded in the snapshot itself and
+	// surfaces as the loaded engine's JournalOffset).
+	Offset int64
+}
+
+// Snapshot streams the daemon's current engine snapshot (krsnap
+// format). The caller owns the ReadCloser and typically feeds it
+// straight into krcore.LoadDynamicEngine.
+func (c *Client) Snapshot(ctx context.Context) (io.ReadCloser, SnapshotInfo, error) {
+	var info SnapshotInfo
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+api.PathSnapshot, nil)
+	if err != nil {
+		return nil, info, fmt.Errorf("client: %s: %w", api.PathSnapshot, err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, info, fmt.Errorf("client: %s: %w", api.PathSnapshot, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		defer resp.Body.Close()
+		return nil, info, decodeAPIError(resp)
+	}
+	info.Kind = resp.Header.Get(api.HeaderKind)
+	info.Offset, _ = strconv.ParseInt(resp.Header.Get(api.HeaderOffset), 10, 64)
+	return resp.Body, info, nil
+}
+
+// TailOptions bounds one JournalTail poll.
+type TailOptions struct {
+	// Wait long-polls on the daemon up to this long when no operation
+	// past the offset is committed yet (clamped server-side). Zero
+	// returns immediately.
+	Wait time.Duration
+	// Max caps the operations returned (clamped server-side); 0 is the
+	// server maximum.
+	Max int
+}
+
+// Tail is one JournalTail response.
+type Tail struct {
+	// Ops are the operations at absolute offsets [From, From+len(Ops)).
+	Ops []krcore.Update
+	// Next is the offset to poll from next: From plus the operations
+	// actually received.
+	Next int64
+	// End is the offset past the last operation committed on the daemon
+	// at read time; End - Next is the lag still to fetch.
+	End int64
+	// Kind is the daemon's attribute kind for these operations.
+	Kind string
+	// Truncated reports that the response body was cut mid-entry (the
+	// connection dropped): Ops holds the complete prefix and the caller
+	// simply polls again from Next. A torn final line is discarded even
+	// when its prefix would parse — applying it would corrupt the
+	// replica.
+	Truncated bool
+}
+
+// JournalTail fetches committed journal operations from the absolute
+// offset from. A from below the daemon's compacted base fails with an
+// error wrapping ErrTailCompacted: re-bootstrap from Snapshot. The
+// call is idempotent — the same from always yields the same operations
+// — so a follower resumes after any failure by re-polling from its own
+// applied offset.
+func (c *Client) JournalTail(ctx context.Context, from int64, opt TailOptions) (*Tail, error) {
+	q := url.Values{}
+	q.Set("from", strconv.FormatInt(from, 10))
+	if opt.Wait > 0 {
+		q.Set("wait_ms", strconv.FormatInt(opt.Wait.Milliseconds(), 10))
+	}
+	if opt.Max > 0 {
+		q.Set("max", strconv.Itoa(opt.Max))
+	}
+	u := c.base + api.PathJournal + "?" + q.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: %s: %w", api.PathJournal, err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %s: %w", api.PathJournal, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusGone {
+		ae := decodeAPIError(resp)
+		return nil, fmt.Errorf("%w: %w", ErrTailCompacted, ae)
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeAPIError(resp)
+	}
+	t := &Tail{Kind: resp.Header.Get(api.HeaderKind)}
+	t.End, _ = strconv.ParseInt(resp.Header.Get(api.HeaderEnd), 10, 64)
+	kind, err := updates.ParseKind(t.Kind)
+	if err != nil {
+		return nil, fmt.Errorf("client: %s: %w", api.PathJournal, err)
+	}
+	s, truncated, err := updates.ParseTail(resp.Body, kind)
+	if err != nil {
+		return nil, fmt.Errorf("client: %s: %w", api.PathJournal, err)
+	}
+	t.Ops, t.Truncated = s.Ups, truncated
+	t.Next = from + int64(len(t.Ops))
+	if !truncated && t.End < t.Next {
+		// The daemon's End header predates ops it just sent only if the
+		// response is inconsistent; trust the operations we hold.
+		t.End = t.Next
+	}
+	return t, nil
+}
+
+// Replication fetches the daemon's replication role and offsets.
+func (c *Client) Replication(ctx context.Context) (*api.ReplicationStatus, error) {
+	var st api.ReplicationStatus
+	if err := c.do(ctx, http.MethodGet, api.PathReplication, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Promote flips a read-only follower writable (failover). Idempotent
+// on an already-writable daemon.
+func (c *Client) Promote(ctx context.Context) (*api.PromoteResponse, error) {
+	var pr api.PromoteResponse
+	if err := c.do(ctx, http.MethodPost, api.PathPromote, nil, &pr); err != nil {
+		return nil, err
+	}
+	return &pr, nil
+}

@@ -86,9 +86,11 @@ import (
 	"time"
 
 	"krcore"
+	"krcore/client"
 	"krcore/internal/dataset"
 	"krcore/internal/snapshot"
 	"krcore/internal/updates"
+	"krcore/replica"
 	"krcore/server"
 )
 
@@ -133,9 +135,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		warm        = fs.String("warm", "", "comma-separated settings to pre-build: k (default threshold) or k:r")
 		grace       = fs.Duration("grace", 10*time.Second, "shutdown drain budget for in-flight queries")
 		withPprof   = fs.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/ (opt-in)")
+
+		follow    = fs.String("follow", "", "replicate the leader daemon at this base URL: bootstrap from its snapshot, tail its journal, serve read-only")
+		pollWait  = fs.Duration("poll-wait", 2*time.Second, "follower mode: journal long-poll duration per tail request")
+		route     = fs.Bool("route", false, "run as a fleet router instead of a serving engine (requires -leader)")
+		leaderF   = fs.String("leader", "", "router mode: leader base URL")
+		followers = fs.String("followers", "", "router mode: comma-separated follower base URLs")
+		probe     = fs.Duration("probe", time.Second, "router mode: fleet health-probe interval")
+		failAfter = fs.Int("fail-after", 3, "router mode: consecutive failed leader probes before promoting the freshest follower")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *route {
+		if *leaderF == "" {
+			return fmt.Errorf("-route requires -leader")
+		}
+		return runRouter(ctx, stdout, *addr, *leaderF, *followers, *probe, *failAfter, *grace)
+	}
+	if *follow != "" && (*data != "" || *load != "" || *snapLoad != "") {
+		return fmt.Errorf("-follow replicates the leader's state; drop -data/-load/-snapshot")
 	}
 
 	if *snapSave != "" {
@@ -158,14 +177,29 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		defer signal.Stop(usr1)
 	}
 
-	backend, d, name, err := openBackend(stdout, *snapLoad, *data, *load, *dynamic)
-	if err != nil {
-		return err
-	}
-
-	journal, err := openJournal(stdout, backend, *journalPath, *dynamic)
-	if err != nil {
-		return err
+	var (
+		backend server.Backend
+		d       *dataset.Dataset
+		name    string
+		journal *updates.Journal
+		fol     *replica.Follower
+		err     error
+	)
+	if *follow != "" {
+		fol, journal, err = openFollower(ctx, stdout, *follow, *journalPath, *pollWait)
+		if err != nil {
+			return err
+		}
+		backend, name = fol, "replica:"+*follow
+	} else {
+		backend, d, name, err = openBackend(stdout, *snapLoad, *data, *load, *dynamic)
+		if err != nil {
+			return err
+		}
+		journal, err = openJournal(stdout, backend, *journalPath, *dynamic)
+		if err != nil {
+			return err
+		}
 	}
 	if journal != nil {
 		defer journal.Close()
@@ -183,6 +217,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	if journal != nil {
 		cfg.JournalLen = journal.TailOps
+		// Any node with a journal can serve the stream — a leader for
+		// its followers, a promoted follower for the fleet's survivors.
+		cfg.Tail = journal
+	}
+	if fol != nil {
+		cfg.LeaderURL = *follow
+		cfg.Lag = fol.Lag
+		cfg.Snapshot = fol.SaveSnapshot
+		cfg.OnPromote = fol.Stop
+	} else if deng, ok := backend.(*krcore.DynamicEngine); ok {
+		cfg.Snapshot = deng.SaveSnapshot
 	}
 	srv, err := server.New(backend, cfg)
 	if err != nil {
@@ -196,6 +241,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	if journal != nil {
 		journal.SetAppendObserver(srv.ObserveJournalAppend)
+	}
+	if fol != nil {
+		fol.RegisterMetrics(srv.Metrics())
+		// The tail loop lives for the daemon's lifetime; ctx cancellation
+		// (or a promotion's Stop) ends it.
+		go func() {
+			if err := fol.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+				log.Printf("follower: tail loop: %v", err)
+			}
+		}()
 	}
 	handler := http.Handler(srv.Handler())
 	if *withPprof {
@@ -239,7 +294,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	mode := "static"
-	if *dynamic {
+	switch {
+	case fol != nil:
+		mode = "follower"
+	case *dynamic:
 		mode = "dynamic"
 	}
 	g := backend.Graph()
@@ -372,9 +430,9 @@ func writeCheckpoint(stdout io.Writer, backend server.Backend, journal *updates.
 	}
 	t0 := time.Now()
 	if journal != nil {
-		deng, ok := backend.(*krcore.DynamicEngine)
-		if !ok {
-			return fmt.Errorf("backend %T has a journal but is not a dynamic engine", backend)
+		deng := dynamicEngineOf(backend)
+		if deng == nil {
+			return fmt.Errorf("backend %T has a journal but no dynamic engine", backend)
 		}
 		dropped, err := updates.Compact(deng, journal, path)
 		if err != nil {
@@ -421,11 +479,29 @@ func openJournal(stdout io.Writer, backend server.Backend, path string, dynamic 
 		return nil, fmt.Errorf("-journal: %w", err)
 	}
 	off := deng.JournalOffset()
-	if off < base {
+	end := base + int64(len(tail.Ups))
+	switch {
+	case off < base:
 		j.Close()
 		return nil, fmt.Errorf("-journal: engine is at offset %d but the journal was compacted past it (base %d); start from the journal's companion snapshot", off, base)
-	}
-	if end := base + int64(len(tail.Ups)); off < end {
+	case off >= end:
+		// The engine (typically restored from -snapshot) is at or past
+		// everything the journal holds: nothing to replay, but the
+		// journal must restart exactly at the engine's offset — a fresh
+		// or fully-contained journal left at a lower base would record
+		// subsequent commits under wrong absolute offsets, silently
+		// misaligning crash recovery and every streaming follower.
+		if off > base || len(tail.Ups) > 0 {
+			if err := j.ResetTo(off); err != nil {
+				j.Close()
+				return nil, fmt.Errorf("-journal: align to engine offset: %w", err)
+			}
+			if err := emit(stdout, "journal aligned to engine offset %d\n", off); err != nil {
+				j.Close()
+				return nil, err
+			}
+		}
+	default:
 		t0 := time.Now()
 		if _, err := tail.ReplayStreamFrom(deng, off-base, 256); err != nil {
 			j.Close()
@@ -439,6 +515,160 @@ func openJournal(stdout io.Writer, backend server.Backend, path string, dynamic 
 	}
 	deng.SetJournal(j)
 	return j, nil
+}
+
+// dynamicEngineOf unwraps the serving backend's dynamic engine: the
+// engine itself, or a follower's current engine.
+func dynamicEngineOf(b server.Backend) *krcore.DynamicEngine {
+	switch x := b.(type) {
+	case *krcore.DynamicEngine:
+		return x
+	case *replica.Follower:
+		return x.Engine()
+	}
+	return nil
+}
+
+// openFollower builds the -follow replication stack: it learns the
+// leader's attribute kind, opens the local write-ahead journal (when
+// -journal is set), and bootstraps from the leader's snapshot —
+// retrying while the leader is still coming up.
+func openFollower(ctx context.Context, stdout io.Writer, leader, journalPath string, pollWait time.Duration) (*replica.Follower, *updates.Journal, error) {
+	const attempts = 60
+	cl := client.New(leader)
+	var j *updates.Journal
+	if journalPath != "" {
+		var kindName string
+		err := retryStep(ctx, stdout, attempts, "fetch leader replication status", func() error {
+			st, err := cl.Replication(ctx)
+			if err != nil {
+				return err
+			}
+			if st.Kind == "" {
+				return fmt.Errorf("leader %s reports no attribute kind (static engine?)", leader)
+			}
+			kindName = st.Kind
+			return nil
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("-follow: %w", err)
+		}
+		kind, err := updates.ParseKind(kindName)
+		if err != nil {
+			return nil, nil, fmt.Errorf("-follow: %w", err)
+		}
+		if j, err = updates.OpenJournal(journalPath, kind); err != nil {
+			return nil, nil, fmt.Errorf("-follow: %w", err)
+		}
+	}
+	fol, err := replica.NewFollower(replica.FollowerConfig{
+		Leader:   leader,
+		Client:   cl,
+		Journal:  j,
+		PollWait: pollWait,
+	})
+	if err != nil {
+		if j != nil {
+			j.Close()
+		}
+		return nil, nil, err
+	}
+	t0 := time.Now()
+	if err := retryStep(ctx, stdout, attempts, "bootstrap from leader snapshot", func() error {
+		return fol.Bootstrap(ctx)
+	}); err != nil {
+		if j != nil {
+			j.Close()
+		}
+		return nil, nil, fmt.Errorf("-follow: %w", err)
+	}
+	if err := emit(stdout, "bootstrapped from %s in %v (journal offset %d)\n",
+		leader, time.Since(t0).Round(time.Millisecond), fol.JournalOffset()); err != nil {
+		if j != nil {
+			j.Close()
+		}
+		return nil, nil, err
+	}
+	return fol, j, nil
+}
+
+// retryStep runs fn up to attempts times, a second apart, logging
+// failures — the follower's leader may simply not be listening yet.
+func retryStep(ctx context.Context, stdout io.Writer, attempts int, what string, fn func() error) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if i == 0 {
+			fmt.Fprintf(stdout, "%s: retrying: %v\n", what, err)
+		}
+		t := time.NewTimer(time.Second)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+	return fmt.Errorf("%s: giving up after %d attempts: %w", what, attempts, err)
+}
+
+// runRouter serves the -route mode: no engine, just the fleet router
+// (affinity read routing, leader write forwarding, failover) plus its
+// own health and metrics endpoints.
+func runRouter(ctx context.Context, stdout io.Writer, addr, leader, followers string, probe time.Duration, failAfter int, grace time.Duration) error {
+	var fl []string
+	for _, f := range strings.Split(followers, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			fl = append(fl, f)
+		}
+	}
+	rt, err := replica.NewRouter(replica.RouterConfig{
+		Leader:    leader,
+		Followers: fl,
+		Probe:     probe,
+		FailAfter: failAfter,
+		Logf:      log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "routing for leader %s and %d followers\n", leader, len(fl))
+	fmt.Fprintf(stdout, "listening on http://%s\n", ln.Addr())
+	go func() {
+		// Probe-loop lifetime is the daemon's; Run only returns on ctx.
+		if err := rt.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+			log.Printf("router: probe loop: %v", err)
+		}
+	}()
+	hs := &http.Server{Handler: rt.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	if err := emit(stdout, "shutting down router\n"); err != nil {
+		return err
+	}
+	sctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), grace)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return emit(stdout, "bye\n")
 }
 
 // warmSpec is one pre-built (k,r) setting.

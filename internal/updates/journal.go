@@ -2,6 +2,8 @@ package updates
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -16,6 +18,19 @@ import (
 	"krcore/internal/fsx"
 	"krcore/internal/snapshot"
 )
+
+// ErrCompacted reports a journal read below the journal's base offset:
+// compaction has already dropped the requested operations. A streaming
+// follower that hits it cannot catch up from the journal alone and must
+// re-bootstrap from the journal's companion snapshot.
+var ErrCompacted = errors.New("updates: offset compacted out of the journal")
+
+// ErrJournalBroken reports a journal whose file handle can no longer be
+// trusted: a compaction renamed the new file into place but could not
+// reopen it, so the held handle points at the unlinked previous file.
+// Appends acknowledged through that handle would vanish — the journal
+// refuses them instead.
+var ErrJournalBroken = errors.New("updates: journal broken by failed compaction")
 
 // dirSync makes a just-renamed journal durable; a seam so the
 // compaction regression test can observe that the sync happens, and
@@ -51,6 +66,18 @@ type Journal struct {
 	base int64 // absolute offset of the file's first operation
 	ops  int64 // operations currently in the file
 	obs  func(ops int, elapsed time.Duration)
+
+	// mem mirrors the file's operations (mem[i] is absolute offset
+	// base+i), so streaming readers are served by offset from memory —
+	// never from the file handle, which compaction atomically replaces.
+	// Its size is the journal tail's, which compaction keeps bounded.
+	mem []krcore.Update
+	// notify is closed and replaced on every append; long-poll readers
+	// grab the current channel under mu and wait on it lock-free.
+	notify chan struct{}
+	// broken, once set, permanently fails appends: the handle may point
+	// at an unlinked file (see ErrJournalBroken).
+	broken error
 }
 
 // ParseKind maps an attribute-kind name (as reported by
@@ -73,7 +100,7 @@ func OpenJournal(path string, kind attr.Kind) (*Journal, error) {
 	if err != nil {
 		return nil, err
 	}
-	j := &Journal{f: f, path: path, kind: kind}
+	j := &Journal{f: f, path: path, kind: kind, notify: make(chan struct{})}
 	if err := j.load(); err != nil {
 		f.Close()
 		return nil, err
@@ -105,6 +132,7 @@ func (j *Journal) load() error {
 	}
 	j.base = base
 	j.ops = int64(len(s.Ups))
+	j.mem = s.Ups
 	return nil
 }
 
@@ -114,7 +142,7 @@ func (j *Journal) writeHeader(base int64) error {
 	if err != nil {
 		return err
 	}
-	j.base, j.ops = base, 0
+	j.base, j.ops, j.mem = base, 0, nil
 	return j.f.Sync()
 }
 
@@ -173,6 +201,9 @@ func (j *Journal) AppendBatch(batch []krcore.Update) error {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.broken != nil {
+		return fmt.Errorf("updates: journal %s: %w", j.path, j.broken)
+	}
 	t0 := time.Now()
 	if _, err := j.f.Write(buf.Bytes()); err != nil {
 		return err
@@ -181,6 +212,11 @@ func (j *Journal) AppendBatch(batch []krcore.Update) error {
 		return err
 	}
 	j.ops += int64(len(batch))
+	j.mem = append(j.mem, batch...)
+	// Wake every long-poll reader waiting for operations past the old
+	// end; the next waiter generation gets a fresh channel.
+	close(j.notify)
+	j.notify = make(chan struct{})
 	if j.obs != nil {
 		j.obs(len(batch), time.Since(t0))
 	}
@@ -230,11 +266,23 @@ func (j *Journal) Tail() (*Stream, int64, error) {
 	return s, j.base, nil
 }
 
+// reopenFile reopens the journal path after a rewrite; a seam so the
+// poisoning regression test can observe what a reopen failure does to
+// subsequently acknowledged appends.
+var reopenFile = func(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
+}
+
 // CompactTo drops every operation before the absolute offset newBase,
 // rewriting the file atomically (temp file + fsync + rename) so a
 // crash mid-compaction leaves the previous journal intact. Operations
 // at or past newBase are preserved: concurrent appends are safe — they
-// serialise against the rewrite and land in the new file.
+// serialise against the rewrite and land in the new file. Concurrent
+// streaming readers are safe too: reads address operations by absolute
+// offset against the journal's in-memory tail (ReadFrom), never
+// through the replaced file handle, so a reader tailing across the
+// compaction sees every surviving entry whole, and a reader whose
+// offset was dropped gets ErrCompacted instead of mispositioned bytes.
 func (j *Journal) CompactTo(newBase int64) (dropped int64, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -244,57 +292,142 @@ func (j *Journal) CompactTo(newBase int64) (dropped int64, err error) {
 	if newBase > j.base+j.ops {
 		return 0, fmt.Errorf("updates: compact to offset %d past journal end %d", newBase, j.base+j.ops)
 	}
-	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+	dropped = newBase - j.base
+	if err := j.rewrite(newBase, j.mem[dropped:]); err != nil {
 		return 0, err
 	}
-	s, err := ParseStream(j.f, j.kind)
-	if err != nil {
-		return 0, fmt.Errorf("updates: journal %s: %w", j.path, err)
-	}
-	keep := s.Ups[newBase-j.base:]
+	return dropped, nil
+}
 
+// ResetTo discards every operation and restarts the journal at the
+// absolute offset base — the follower-bootstrap path: an engine just
+// restored from a shipped snapshot is at that snapshot's journal
+// offset, and a local write-ahead journal (fresh, or left over from a
+// previous lineage) must restart exactly there for its recorded
+// offsets to stay absolute.
+func (j *Journal) ResetTo(base int64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if base < 0 {
+		return fmt.Errorf("updates: reset to negative offset %d", base)
+	}
+	return j.rewrite(base, nil)
+}
+
+// rewrite atomically replaces the journal file with a header at
+// newBase plus the kept operations, then swaps the handle. The caller
+// holds j.mu. Once the rename has succeeded, any failure poisons the
+// journal (ErrJournalBroken): the held handle points at the unlinked
+// previous file, so accepting further appends would acknowledge
+// write-ahead records no recovery could ever read back.
+func (j *Journal) rewrite(newBase int64, keep []krcore.Update) error {
+	if j.broken != nil {
+		return fmt.Errorf("updates: journal %s: %w", j.path, j.broken)
+	}
 	dir := filepath.Dir(j.path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(j.path)+".tmp*")
 	if err != nil {
-		return 0, err
+		return err
 	}
 	defer os.Remove(tmp.Name())
 	if _, err := fmt.Fprintf(tmp, "%s kind=%s base=%d\n", journalMagic, j.kind, newBase); err != nil {
 		tmp.Close()
-		return 0, err
+		return err
 	}
 	if err := Write(tmp, keep, j.kind); err != nil {
 		tmp.Close()
-		return 0, err
+		return err
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		return 0, err
+		return err
 	}
 	if err := tmp.Close(); err != nil {
-		return 0, err
+		return err
 	}
 	if err := os.Rename(tmp.Name(), j.path); err != nil {
-		return 0, err
+		return err
 	}
 	// POSIX rename durability: until the containing directory is
 	// fsynced, a crash can leave the directory entry pointing at the
 	// OLD journal while subsequent acknowledged appends land in the new
 	// file — committed write-ahead ops lost. Sync before accepting any
 	// new appends (callers serialise on j.mu, held here).
-	if err := dirSync(filepath.Dir(j.path)); err != nil {
-		return 0, fmt.Errorf("updates: journal compacted but directory sync failed: %w", err)
+	if err := dirSync(dir); err != nil {
+		j.broken = ErrJournalBroken
+		return fmt.Errorf("updates: journal rewritten but directory sync failed: %w", err)
 	}
-	nf, err := os.OpenFile(j.path, os.O_RDWR|os.O_APPEND, 0o644)
+	nf, err := reopenFile(j.path)
 	if err != nil {
-		return 0, fmt.Errorf("updates: journal compacted but reopen failed: %w", err)
+		j.broken = ErrJournalBroken
+		return fmt.Errorf("updates: journal rewritten but reopen failed: %w", err)
 	}
 	j.f.Close()
 	j.f = nf
-	dropped = newBase - j.base
 	j.base, j.ops = newBase, int64(len(keep))
-	return dropped, nil
+	j.mem = append([]krcore.Update(nil), keep...)
+	return nil
 }
+
+// ReadFrom returns up to max operations starting at the absolute
+// journal offset from, plus the journal's current end — the streaming
+// read path behind the leader's journal endpoint. Operations are
+// served from the journal's in-memory tail by offset, so the read is
+// immune to a concurrent compaction replacing the file. A from below
+// the journal's base returns ErrCompacted (wrapped): those operations
+// are gone, and the reader must re-bootstrap from the companion
+// snapshot. from == end returns no operations and no error.
+func (j *Journal) ReadFrom(from int64, max int) (ops []krcore.Update, end int64, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	end = j.base + j.ops
+	if from < j.base {
+		return nil, end, fmt.Errorf("updates: read from offset %d below journal base %d: %w", from, j.base, ErrCompacted)
+	}
+	if from > end {
+		return nil, end, fmt.Errorf("updates: read from offset %d past journal end %d", from, end)
+	}
+	tail := j.mem[from-j.base:]
+	if max > 0 && len(tail) > max {
+		tail = tail[:max]
+	}
+	return append([]krcore.Update(nil), tail...), end, nil
+}
+
+// WaitFrom blocks until the journal end exceeds from, the wait elapses
+// or ctx is cancelled, and returns the current end — the long-poll
+// half of the streaming endpoint. It never returns an error: a timeout
+// simply reports an end that is still <= from, which the caller
+// surfaces as an empty (but successful) poll.
+func (j *Journal) WaitFrom(ctx context.Context, from int64, wait time.Duration) int64 {
+	deadline := time.Now().Add(wait)
+	for {
+		j.mu.Lock()
+		end := j.base + j.ops
+		ch := j.notify
+		j.mu.Unlock()
+		if end > from {
+			return end
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return end
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return end
+		}
+	}
+}
+
+// Kind returns the attribute kind the journal's payloads are encoded
+// for; streamed operations must be parsed with the same kind.
+func (j *Journal) Kind() attr.Kind { return j.kind }
 
 // Close releases the journal's file handle. Appends after Close fail.
 func (j *Journal) Close() error {

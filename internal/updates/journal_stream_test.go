@@ -1,0 +1,376 @@
+package updates
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"krcore"
+	"krcore/internal/attr"
+)
+
+// streamOps builds n distinct, always-valid geo-kind operations for
+// driving a journal directly (AppendBatch does not validate against a
+// graph, so edge endpoints only need to be distinct).
+func streamOps(n int, seed int32) []krcore.Update {
+	ops := make([]krcore.Update, 0, n)
+	for i := int32(0); len(ops) < n; i++ {
+		switch i % 4 {
+		case 0:
+			ops = append(ops, krcore.AddEdgeUpdate(seed+i, seed+i+1))
+		case 1:
+			ops = append(ops, krcore.RemoveEdgeUpdate(seed+i, seed+i+2))
+		case 2:
+			ops = append(ops, krcore.AddVertexUpdate())
+		default:
+			ops = append(ops, krcore.SetAttributesUpdate(seed+i, krcore.VertexAttributes{X: float64(i), Y: float64(seed)}))
+		}
+	}
+	return ops
+}
+
+// opsText serialises ops in the journal text format, the
+// representation equality is asserted on.
+func opsText(t *testing.T, ops []krcore.Update) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, ops, attr.KindGeo); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func openStreamJournal(t *testing.T) *Journal {
+	t.Helper()
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "stream.journal"), attr.KindGeo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+// TestJournalReadFromAcrossCompaction is the regression test for the
+// streaming-reader audit of Journal.CompactTo: a follower tailing the
+// journal across a concurrent compaction must see every surviving
+// entry whole and in order, never bytes mispositioned by the rename.
+// Reads therefore address operations by ABSOLUTE offset against the
+// journal's in-memory tail — a reader positioned on the replaced file
+// handle would re-read from the wrong byte offset after the base
+// shifted — and a read below the compacted base must fail typed
+// (ErrCompacted) instead of silently serving whatever now lives at
+// that file position.
+func TestJournalReadFromAcrossCompaction(t *testing.T) {
+	j := openStreamJournal(t)
+	ops := streamOps(10, 100)
+	if err := j.AppendBatch(ops); err != nil {
+		t.Fatal(err)
+	}
+
+	before, end, err := j.ReadFrom(6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 10 || opsText(t, before) != opsText(t, ops[6:]) {
+		t.Fatalf("pre-compaction read from 6 diverged (end=%d)", end)
+	}
+
+	if _, err := j.CompactTo(6); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same offsets after compaction: surviving entries identical...
+	after, end, err := j.ReadFrom(6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 10 || opsText(t, after) != opsText(t, before) {
+		t.Fatalf("read from 6 changed across compaction (end=%d):\n%s\nvs\n%s", end, opsText(t, after), opsText(t, before))
+	}
+	// ...and dropped offsets fail typed, with the end still reported so
+	// the caller can tell how far behind it fell.
+	_, end, err = j.ReadFrom(4, 0)
+	if !errors.Is(err, ErrCompacted) {
+		t.Fatalf("read below base returned %v, want ErrCompacted", err)
+	}
+	if end != 10 {
+		t.Fatalf("ErrCompacted read reported end %d, want 10", end)
+	}
+
+	// Appends after the compaction extend the same absolute numbering.
+	more := streamOps(5, 200)
+	if err := j.AppendBatch(more); err != nil {
+		t.Fatal(err)
+	}
+	got, end, err := j.ReadFrom(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 15 || opsText(t, got) != opsText(t, more) {
+		t.Fatalf("post-compaction append misnumbered (end=%d)", end)
+	}
+}
+
+// TestJournalReadFromBounds pins the edges: reading exactly at end is
+// an empty success, past end an error, and max caps the slice.
+func TestJournalReadFromBounds(t *testing.T) {
+	j := openStreamJournal(t)
+	if err := j.AppendBatch(streamOps(4, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, end, err := j.ReadFrom(4, 0)
+	if err != nil || len(got) != 0 || end != 4 {
+		t.Fatalf("read at end: ops=%d end=%d err=%v", len(got), end, err)
+	}
+	if _, _, err := j.ReadFrom(5, 0); err == nil {
+		t.Fatal("read past end accepted")
+	}
+	got, _, err = j.ReadFrom(0, 3)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("max ignored: ops=%d err=%v", len(got), err)
+	}
+}
+
+// TestJournalStreamConcurrent tails a journal through WaitFrom/ReadFrom
+// while a writer appends and periodically compacts behind the reader's
+// confirmed progress: the reader must collect every operation exactly
+// once, in order — the in-process model of a follower tailing a leader
+// across checkpoints. Run under -race in CI.
+func TestJournalStreamConcurrent(t *testing.T) {
+	j := openStreamJournal(t)
+	const total = 120
+	all := streamOps(total, 1000)
+
+	var consumed atomic.Int64
+	writerDone := make(chan error, 1)
+	go func() {
+		for off := 0; off < total; off += 6 {
+			if err := j.AppendBatch(all[off : off+6]); err != nil {
+				writerDone <- err
+				return
+			}
+			// Compact strictly behind the reader: everything the reader
+			// has confirmed is fair game to drop.
+			if off%24 == 0 {
+				if _, err := j.CompactTo(consumed.Load()); err != nil {
+					writerDone <- fmt.Errorf("compact: %w", err)
+					return
+				}
+			}
+		}
+		writerDone <- nil
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var got []krcore.Update
+	for int64(len(got)) < total {
+		if ctx.Err() != nil {
+			t.Fatalf("reader stalled at offset %d", len(got))
+		}
+		from := int64(len(got))
+		j.WaitFrom(ctx, from, 50*time.Millisecond)
+		ops, _, err := j.ReadFrom(from, 7)
+		if err != nil {
+			t.Fatalf("read from %d: %v", from, err)
+		}
+		got = append(got, ops...)
+		consumed.Store(int64(len(got)))
+	}
+	if err := <-writerDone; err != nil {
+		t.Fatal(err)
+	}
+	if opsText(t, got) != opsText(t, all) {
+		t.Fatal("streamed tail diverged from the appended sequence")
+	}
+}
+
+// TestJournalBrokenByFailedReopen is the pre-fix-failing regression
+// for the compaction audit's second finding: when the compacted file
+// has been renamed into place but the journal cannot reopen it, the
+// still-held handle points at the UNLINKED previous file. Accepting
+// appends through it acknowledges write-ahead records that no restart
+// could ever read back — silent loss of acked writes. The journal must
+// refuse further appends instead (ErrJournalBroken), so the engine
+// fails the commit round and nothing is acked.
+func TestJournalBrokenByFailedReopen(t *testing.T) {
+	j := openStreamJournal(t)
+	if err := j.AppendBatch(streamOps(8, 50)); err != nil {
+		t.Fatal(err)
+	}
+
+	orig := reopenFile
+	reopenFile = func(string) (*os.File, error) {
+		return nil, errors.New("injected reopen failure")
+	}
+	defer func() { reopenFile = orig }()
+	if _, err := j.CompactTo(8); err == nil {
+		t.Fatal("compaction with failed reopen reported success")
+	}
+	reopenFile = orig
+
+	// The poisoned journal must refuse the append — pre-fix this write
+	// landed in the unlinked old file and "succeeded".
+	err := j.AppendBatch(streamOps(1, 60))
+	if !errors.Is(err, ErrJournalBroken) {
+		t.Fatalf("append after failed reopen returned %v, want ErrJournalBroken", err)
+	}
+
+	// What is on disk is the compacted file, and it must contain every
+	// op the journal ever acked — i.e. none past the compaction point,
+	// because the poisoned journal acked nothing after it.
+	j2, err := OpenJournal(j.path, attr.KindGeo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Base() != 8 || j2.TailOps() != 0 {
+		t.Fatalf("on-disk journal base=%d tail=%d, want base=8 tail=0", j2.Base(), j2.TailOps())
+	}
+}
+
+// TestJournalResetTo restarts a journal at an arbitrary absolute
+// offset — the follower-bootstrap path, where a freshly shipped
+// snapshot puts the engine at the leader's offset and the local
+// write-ahead journal must restart exactly there.
+func TestJournalResetTo(t *testing.T) {
+	j := openStreamJournal(t)
+	if err := j.AppendBatch(streamOps(5, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.ResetTo(42); err != nil {
+		t.Fatal(err)
+	}
+	if j.Base() != 42 || j.TailOps() != 0 || j.End() != 42 {
+		t.Fatalf("after reset: base=%d tail=%d end=%d, want 42/0/42", j.Base(), j.TailOps(), j.End())
+	}
+	if _, _, err := j.ReadFrom(41, 0); !errors.Is(err, ErrCompacted) {
+		t.Fatal("read below reset base not ErrCompacted")
+	}
+	more := streamOps(3, 9)
+	if err := j.AppendBatch(more); err != nil {
+		t.Fatal(err)
+	}
+	got, end, err := j.ReadFrom(42, 0)
+	if err != nil || end != 45 || opsText(t, got) != opsText(t, more) {
+		t.Fatalf("post-reset read diverged (end=%d, err=%v)", end, err)
+	}
+	// The reset survives a reopen (it is a durable rewrite, not an
+	// in-memory fiction).
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(j.path, attr.KindGeo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Base() != 42 || j2.TailOps() != 3 {
+		t.Fatalf("reopened after reset: base=%d tail=%d, want 42/3", j2.Base(), j2.TailOps())
+	}
+	if err := j2.ResetTo(-1); err == nil {
+		t.Fatal("negative reset accepted")
+	}
+}
+
+// TestJournalWaitFrom covers the long-poll: an immediate return when
+// data is already past the offset, a wake-up on append, and a timeout
+// that reports the unchanged end.
+func TestJournalWaitFrom(t *testing.T) {
+	j := openStreamJournal(t)
+	if err := j.AppendBatch(streamOps(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if end := j.WaitFrom(ctx, 1, time.Minute); end != 2 {
+		t.Fatalf("immediate wait returned end %d, want 2", end)
+	}
+	if end := j.WaitFrom(ctx, 2, 20*time.Millisecond); end != 2 {
+		t.Fatalf("timed-out wait returned end %d, want 2", end)
+	}
+
+	done := make(chan int64, 1)
+	go func() { done <- j.WaitFrom(ctx, 2, 30*time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	if err := j.AppendBatch(streamOps(1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case end := <-done:
+		if end != 3 {
+			t.Fatalf("woken wait returned end %d, want 3", end)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter never woke on append")
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if end := j.WaitFrom(cctx, 3, time.Minute); end != 3 {
+		t.Fatalf("cancelled wait returned end %d, want 3", end)
+	}
+}
+
+// TestParseTail pins the truncation semantics of the follower-side
+// parser: complete lines parse, a torn final line is discarded — even
+// when the torn prefix would still parse as a valid operation, the
+// case that silently corrupts a replica — and garbage on a complete
+// line is a hard error.
+func TestParseTail(t *testing.T) {
+	kind := attr.KindGeo
+	full := "ae 0 1\nsa 3 1.5 2.5\nre 0 1\n"
+
+	s, truncated, err := ParseTail(strings.NewReader(full), kind)
+	if err != nil || truncated || len(s.Ups) != 3 {
+		t.Fatalf("clean parse: ops=%d truncated=%v err=%v", len(s.Ups), truncated, err)
+	}
+
+	// Torn mid-entry, prefix unparseable: dropped, reported truncated.
+	s, truncated, err = ParseTail(strings.NewReader(full[:len(full)-5]), kind)
+	if err != nil || !truncated || len(s.Ups) != 2 {
+		t.Fatalf("torn tail: ops=%d truncated=%v err=%v", len(s.Ups), truncated, err)
+	}
+
+	// Torn mid-entry where the prefix STILL parses: "sa 3 1.5 2.5"
+	// truncated to "sa 3 1.5" is a valid-looking geo op with the wrong
+	// payload. It must be discarded, not applied.
+	s, truncated, err = ParseTail(strings.NewReader("ae 0 1\nsa 3 1.5"), kind)
+	if err != nil || !truncated || len(s.Ups) != 1 {
+		t.Fatalf("parseable torn line: ops=%d truncated=%v err=%v", len(s.Ups), truncated, err)
+	}
+	if s.Ups[0].Op != krcore.OpAddEdge {
+		t.Fatalf("wrong surviving op %v", s.Ups[0].Op)
+	}
+
+	// A complete but malformed line is sender corruption, not network
+	// truncation: hard error.
+	if _, _, err := ParseTail(strings.NewReader("ae 0 1\nbogus op\nre 0 1\n"), kind); err == nil {
+		t.Fatal("malformed complete line accepted")
+	}
+
+	// Comments and blanks are skipped like ParseStream.
+	s, truncated, err = ParseTail(strings.NewReader("# header\n\nae 0 1\n"), kind)
+	if err != nil || truncated || len(s.Ups) != 1 {
+		t.Fatalf("comment handling: ops=%d truncated=%v err=%v", len(s.Ups), truncated, err)
+	}
+
+	// A mid-body read ERROR (how a dropped connection surfaces) is
+	// truncation, not failure: the complete prefix is intact.
+	s, truncated, err = ParseTail(io.MultiReader(strings.NewReader("ae 0 1\nre 0"), errReader{}), kind)
+	if err != nil || !truncated || len(s.Ups) != 1 {
+		t.Fatalf("read error: ops=%d truncated=%v err=%v", len(s.Ups), truncated, err)
+	}
+}
+
+// errReader fails immediately — the tail of a dropped connection.
+type errReader struct{}
+
+func (errReader) Read([]byte) (int, error) { return 0, errors.New("connection reset") }

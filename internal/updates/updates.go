@@ -114,6 +114,51 @@ func ParseStream(r io.Reader, kind attr.Kind) (*Stream, error) {
 	return s, nil
 }
 
+// ParseTail reads a journal-stream fragment that may have been cut off
+// mid-transfer — the follower-side parse of a streamed tail. Complete
+// lines (newline-terminated) parse exactly as in ParseStream; a final
+// line without its terminating newline is discarded and reported via
+// truncated=true rather than parsed, because a mid-entry cut can yield
+// a line that still parses as a valid — but wrong — operation (an "sa"
+// payload missing its last keywords, say). The caller applies the
+// complete prefix and re-fetches the rest from its own offset. A
+// malformed complete line is a hard error: TCP does not truncate in
+// the middle of a stream, so garbage there means a corrupt sender.
+//
+// A mid-body read ERROR (a dropped connection surfaces as one, not as
+// a clean EOF) is truncation too: the complete prefix before it is
+// intact, so it is returned with truncated=true instead of an error —
+// the retry semantics are identical either way.
+func ParseTail(r io.Reader, kind attr.Kind) (s *Stream, truncated bool, err error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	s = &Stream{}
+	line := 0
+	for {
+		text, rerr := br.ReadString('\n')
+		if rerr != nil && rerr != io.EOF {
+			return s, true, nil
+		}
+		complete := strings.HasSuffix(text, "\n")
+		if complete {
+			line++
+			fields := strings.Fields(text)
+			if len(fields) > 0 && !strings.HasPrefix(fields[0], "#") {
+				up, perr := parseOp(fields, kind)
+				if perr != nil {
+					return nil, false, fmt.Errorf("updates: line %d: %w", line, perr)
+				}
+				s.Ups = append(s.Ups, up)
+				s.Lines = append(s.Lines, line)
+			}
+		} else if len(text) > 0 {
+			truncated = true
+		}
+		if rerr == io.EOF {
+			return s, truncated, nil
+		}
+	}
+}
+
 // Parse reads an update stream for the given attribute kind.
 func Parse(r io.Reader, kind attr.Kind) ([]krcore.Update, error) {
 	s, err := ParseStream(r, kind)

@@ -1,0 +1,323 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"krcore"
+	"krcore/api"
+	"krcore/client"
+	"krcore/internal/updates"
+)
+
+// testDynamicEngine builds a small two-cluster geo instance on a
+// dynamic engine — the same shape as testEngine, but mutable.
+func testDynamicEngine(t *testing.T) *krcore.DynamicEngine {
+	t.Helper()
+	const n = 40
+	b := krcore.NewGraphBuilder(n)
+	for c := 0; c < 2; c++ {
+		base := int32(c * 20)
+		for i := int32(0); i < 20; i++ {
+			for j := i + 1; j < 20; j++ {
+				if (i+j)%3 != 0 {
+					b.AddEdge(base+i, base+j)
+				}
+			}
+		}
+	}
+	b.AddEdge(19, 20)
+	geo := krcore.NewGeoAttributes(n)
+	for u := int32(0); u < n; u++ {
+		geo.Set(u, float64(u/20)*100, float64(u%20))
+	}
+	deng, err := krcore.NewDynamicEngine(b.Build(), geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return deng
+}
+
+// attachJournal opens a journal of the engine's kind and wires it as
+// the engine's write-ahead log.
+func attachJournal(t *testing.T, deng *krcore.DynamicEngine) *updates.Journal {
+	t.Helper()
+	kind, err := updates.ParseKind(deng.AttributeKind())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := updates.OpenJournal(filepath.Join(t.TempDir(), "node.journal"), kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	deng.SetJournal(j)
+	return j
+}
+
+// toggleOps builds n valid operations against the testDynamicEngine
+// graph: each op removes and re-adds a known edge or nudges a vertex
+// attribute, so every batch commits.
+func toggleOps(n int) []krcore.Update {
+	ops := make([]krcore.Update, 0, n)
+	for i := 0; len(ops) < n; i++ {
+		u := int32(i % 18)
+		switch i % 3 {
+		case 0:
+			// (1,2): 1+2=3 divisible by 3, so this edge does NOT exist in
+			// the seed graph — but (1,3) does.
+			ops = append(ops, krcore.RemoveEdgeUpdate(1, 3), krcore.AddEdgeUpdate(1, 3))
+		case 1:
+			ops = append(ops, krcore.SetAttributesUpdate(u, krcore.VertexAttributes{X: float64(i), Y: float64(u)}))
+		default:
+			ops = append(ops, krcore.AddVertexUpdate())
+		}
+	}
+	return ops[:n]
+}
+
+// TestSnapshotEndpoint pins the bootstrap path: the downloaded image
+// loads into an engine bit-identical to the leader's, carrying its
+// journal offset, and the headers describe the stream.
+func TestSnapshotEndpoint(t *testing.T) {
+	deng := testDynamicEngine(t)
+	j := attachJournal(t, deng)
+	if err := deng.ApplyBatch(toggleOps(9)); err != nil {
+		t.Fatal(err)
+	}
+	_, c := newTestServer(t, deng, Config{Snapshot: deng.SaveSnapshot, Tail: j})
+
+	rc, info, err := c.Snapshot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != "geo" {
+		t.Fatalf("snapshot kind %q, want geo", info.Kind)
+	}
+	if info.Offset != deng.JournalOffset() {
+		t.Fatalf("advisory offset %d, want %d", info.Offset, deng.JournalOffset())
+	}
+	loaded, err := krcore.LoadDynamicEngine(rc)
+	if cerr := rc.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.JournalOffset() != deng.JournalOffset() {
+		t.Fatalf("loaded offset %d, want %d", loaded.JournalOffset(), deng.JournalOffset())
+	}
+	if loaded.N() != deng.N() || loaded.M() != deng.M() {
+		t.Fatalf("loaded graph %d/%d, want %d/%d", loaded.N(), loaded.M(), deng.N(), deng.M())
+	}
+}
+
+// TestJournalEndpoint pins the streaming path: absolute offsets, max
+// clamping, long-poll wakeup, parameter validation, and the 410
+// re-bootstrap signal once the requested offset is compacted away.
+func TestJournalEndpoint(t *testing.T) {
+	deng := testDynamicEngine(t)
+	j := attachJournal(t, deng)
+	if err := deng.ApplyBatch(toggleOps(10)); err != nil {
+		t.Fatal(err)
+	}
+	s, c := newTestServer(t, deng, Config{Snapshot: deng.SaveSnapshot, Tail: j})
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	ctx := context.Background()
+
+	full, err := c.JournalTail(ctx, 0, client.TailOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Ops) != 10 || full.Next != 10 || full.End != 10 || full.Kind != "geo" || full.Truncated {
+		t.Fatalf("full tail: %d ops, next=%d end=%d kind=%q truncated=%v",
+			len(full.Ops), full.Next, full.End, full.Kind, full.Truncated)
+	}
+
+	capped, err := c.JournalTail(ctx, 4, client.TailOptions{Max: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped.Ops) != 3 || capped.Next != 7 || capped.End != 10 {
+		t.Fatalf("capped tail: %d ops, next=%d end=%d", len(capped.Ops), capped.Next, capped.End)
+	}
+
+	// A long-poll at the end wakes when a commit lands.
+	woke := make(chan error, 1)
+	go func() {
+		tl, err := c.JournalTail(ctx, 10, client.TailOptions{Wait: 5 * time.Second})
+		if err == nil && len(tl.Ops) == 0 {
+			err = errors.New("long-poll returned empty after the commit")
+		}
+		woke <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := deng.ApplyBatch(toggleOps(2)[:1]); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-woke:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("long-poll never woke")
+	}
+
+	// Parameter validation: each bad request is a 400, not a hang or a
+	// misread stream.
+	for _, q := range []string{"", "from=-1", "from=abc", "from=0&max=-2", "from=0&max=x", "from=0&wait_ms=-5", "from=999"} {
+		resp, err := http.Get(hs.URL + api.PathJournal + "?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("journal?%s answered %d, want 400", q, resp.StatusCode)
+		}
+	}
+
+	// Compaction below the requested offset turns the tail into a 410:
+	// the typed re-bootstrap signal, not a generic failure.
+	if _, err := j.CompactTo(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.JournalTail(ctx, 2, client.TailOptions{}); !errors.Is(err, client.ErrTailCompacted) {
+		t.Fatalf("tail below base returned %v, want ErrTailCompacted", err)
+	}
+	// At-or-above the base the stream is untouched by the compaction.
+	rest, err := c.JournalTail(ctx, 8, client.TailOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest.Ops) != 3 || rest.Next != 11 {
+		t.Fatalf("post-compaction tail: %d ops, next=%d", len(rest.Ops), rest.Next)
+	}
+}
+
+// TestFollowerWriteGateAndPromote pins the follower serving contract:
+// writes answer 503 with the leader's URL (counted on their own
+// series, not server_errors), the replication status names the role,
+// and promotion is idempotent, runs the OnPromote hook exactly once
+// before the gate opens, and flips the node writable.
+func TestFollowerWriteGateAndPromote(t *testing.T) {
+	deng := testDynamicEngine(t)
+	var hookCalls atomic.Int64
+	const leaderURL = "http://leader.example:7070"
+	s, c := newTestServer(t, deng, Config{
+		LeaderURL: leaderURL,
+		OnPromote: func(context.Context) error { hookCalls.Add(1); return nil },
+	})
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	ctx := context.Background()
+
+	st, err := c.Replication(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != api.RoleFollower || st.Leader != leaderURL || st.Kind != "geo" {
+		t.Fatalf("follower status: %+v", st)
+	}
+
+	_, err = c.ApplyBatch(ctx, toggleOps(2)[:2])
+	if leader, ok := client.IsReadOnly(err); !ok || leader != leaderURL {
+		t.Fatalf("gated write returned %v (leader=%q ok=%v)", err, leader, ok)
+	}
+	// Reads stay open while the node follows.
+	if _, err := c.Enumerate(ctx, 4, 10, client.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	assertMetric(t, hs.URL, "krcored_write_redirects_total", 1)
+	assertMetric(t, hs.URL, "krcored_server_errors_total", 0)
+	assertMetric(t, hs.URL, "krcored_replication_writable", 0)
+
+	pr, err := c.Promote(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Role != api.RoleLeader || hookCalls.Load() != 1 {
+		t.Fatalf("promote: %+v (hook calls %d)", pr, hookCalls.Load())
+	}
+	// Idempotent: a second promote is a 200 and the hook does not rerun.
+	if _, err := c.Promote(ctx); err != nil || hookCalls.Load() != 1 {
+		t.Fatalf("re-promote: %v (hook calls %d)", err, hookCalls.Load())
+	}
+	if _, err := c.ApplyBatch(ctx, toggleOps(2)[:2]); err != nil {
+		t.Fatalf("write after promotion: %v", err)
+	}
+	if st, err = c.Replication(ctx); err != nil || st.Role != api.RoleLeader {
+		t.Fatalf("post-promotion status %+v (%v)", st, err)
+	}
+	assertMetric(t, hs.URL, "krcored_replication_writable", 1)
+}
+
+// TestPromoteHookFailure: when OnPromote cannot drain the tail loop,
+// promotion fails closed — the node stays read-only, and a retry can
+// still succeed later.
+func TestPromoteHookFailure(t *testing.T) {
+	deng := testDynamicEngine(t)
+	var hookErr atomic.Pointer[error]
+	e := errors.New("tail loop still draining")
+	hookErr.Store(&e)
+	_, c := newTestServer(t, deng, Config{
+		LeaderURL: "http://leader.example:7070",
+		OnPromote: func(context.Context) error {
+			if p := hookErr.Load(); *p != nil {
+				return *p
+			}
+			return nil
+		},
+	})
+	ctx := context.Background()
+
+	if _, err := c.Promote(ctx); err == nil {
+		t.Fatal("promote with a failing hook reported success")
+	}
+	if _, err := c.ApplyBatch(ctx, toggleOps(1)); err == nil {
+		t.Fatal("failed promotion opened the write gate")
+	}
+
+	var nilErr error
+	hookErr.Store(&nilErr)
+	if _, err := c.Promote(ctx); err != nil {
+		t.Fatalf("promote retry: %v", err)
+	}
+	if _, err := c.ApplyBatch(ctx, toggleOps(1)); err != nil {
+		t.Fatalf("write after recovered promotion: %v", err)
+	}
+}
+
+// assertMetric scrapes the node's /metrics and checks one series'
+// current value.
+func assertMetric(t *testing.T, base, name string, want int64) {
+	t.Helper()
+	resp, err := http.Get(base + api.PathMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			if got := strings.TrimSpace(strings.TrimPrefix(line, name)); got != fmt.Sprint(want) {
+				t.Fatalf("%s = %s, want %d", name, got, want)
+			}
+			return
+		}
+	}
+	t.Fatalf("metric %s not exported", name)
+}

@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -96,6 +97,27 @@ type Config struct {
 	// update journal tail for PathStats and the journal_tail_ops gauge
 	// (see cmd/krcored -journal).
 	JournalLen func() int64
+
+	// Snapshot, when set, enables GET PathSnapshot: the hook streams one
+	// complete engine snapshot (krsnap format, journal offset embedded).
+	// Typically DynamicEngine.SaveSnapshot.
+	Snapshot func(w io.Writer) error
+	// Tail, when set, enables GET PathJournal serving the committed
+	// journal tail (typically the daemon's *updates.Journal).
+	Tail TailSource
+	// LeaderURL, when non-empty, starts the server as a read-only
+	// follower of the leader at that base URL: writes answer 503 with
+	// the leader in the error body until PathPromote flips the node
+	// writable.
+	LeaderURL string
+	// Lag, when set, reports the follower's last observed distance
+	// behind its leader in operations (PathReplication and the
+	// replication_lag_ops gauge).
+	Lag func() int64
+	// OnPromote, when set, runs inside POST PathPromote before the node
+	// starts accepting writes — a follower stops tailing its old leader
+	// here. An error aborts the promotion.
+	OnPromote func(ctx context.Context) error
 }
 
 func (c Config) withDefaults() Config {
@@ -133,12 +155,21 @@ type Server struct {
 	inFlight atomic.Int64
 	peak     atomic.Int64
 
+	// readOnly gates writes while the node follows a leader.
+	readOnly atomic.Bool
+	// promoteMu's contract IS serialising the promotion side effects:
+	// OnPromote (which blocks until the follower's tail loop drains)
+	// must finish before the gate opens, and concurrent promotions must
+	// run it exactly once. krlint:iolock
+	promoteMu sync.Mutex
+
 	reg        *metrics.Registry
 	queries    *metrics.Counter
 	rejected   *metrics.Counter
 	clientErrs *metrics.Counter
 	serverErrs *metrics.Counter
 	applied    *metrics.Counter
+	redirected *metrics.Counter
 	writeFails *metrics.CounterVec // cause: disconnect | encode
 
 	reqSeconds    *metrics.HistogramVec // endpoint
@@ -160,17 +191,31 @@ func New(b Backend, cfg Config) (*Server, error) {
 	}
 	s := &Server{cfg: cfg.withDefaults(), backend: b}
 	s.updater, _ = b.(Updater)
+	if s.cfg.LeaderURL != "" {
+		if s.updater == nil {
+			return nil, errors.New("server: a follower needs a dynamic backend to apply the tail")
+		}
+		s.readOnly.Store(true)
+	}
 	s.slots = make(chan struct{}, s.cfg.MaxConcurrent)
 	s.initMetrics()
 	s.mux = http.NewServeMux()
 	s.handle("GET "+api.PathHealth, "health", s.handleHealth)
 	s.handle("GET "+api.PathStats, "stats", s.handleStats)
 	s.handle("GET "+api.PathMetrics, "metrics", s.handleMetrics)
+	s.handle("GET "+api.PathReplication, "replication", s.handleReplication)
 	s.handle("POST "+api.PathEnumerate, "enumerate", s.handleEnumerate)
 	s.handle("POST "+api.PathMaximum, "maximum", s.handleMaximum)
 	s.handle("POST "+api.PathWarm, "warm", s.handleWarm)
+	if s.cfg.Snapshot != nil {
+		s.handle("GET "+api.PathSnapshot, "snapshot", s.handleSnapshot)
+	}
+	if s.cfg.Tail != nil {
+		s.handle("GET "+api.PathJournal, "journal", s.handleJournal)
+	}
 	if s.updater != nil {
 		s.handle("POST "+api.PathUpdate, "update", s.handleUpdate)
+		s.handle("POST "+api.PathPromote, "promote", s.handlePromote)
 	}
 	return s, nil
 }
@@ -276,6 +321,7 @@ func (s *Server) initMetrics() {
 	if s.cfg.JournalLen != nil {
 		gaugeOf("krcored_journal_tail_ops", "operations in the journal tail (crash-recovery replay cost)", s.cfg.JournalLen)
 	}
+	s.initReplicationMetrics(gaugeOf)
 
 	reg.SampleFunc("krcored_go_goroutines", "live goroutines in the daemon", metrics.KindGauge, nil, func() []metrics.Sample {
 		return []metrics.Sample{{Value: float64(runtime.NumGoroutine())}}
@@ -654,6 +700,12 @@ func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	// A read-only follower redirects writes before spending any work on
+	// them; the body is not even parsed.
+	if s.readOnly.Load() {
+		s.redirectWrite(w)
+		return
+	}
 	var q api.UpdateRequest
 	if err := decode(r, &q); err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
